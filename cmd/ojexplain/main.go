@@ -1,0 +1,192 @@
+// Command ojexplain prints the maintenance machinery the paper describes
+// for one of the built-in example views: the join-disjunctive normal form
+// (Section 2.2), the subsumption graph (Section 2.3), the maintenance graph
+// before and after foreign-key reduction (Sections 3.1, 6.2), and the
+// primary-delta expression in its bushy, left-deep and FK-simplified forms
+// (Sections 4, 4.1, 6.1).
+//
+// Usage:
+//
+//	ojexplain -view v1 -update T
+//	ojexplain -view v1fk -update T      # Example 10 / Figure 2-3 setting
+//	ojexplain -view v2fk -update O      # Figure 4 setting
+//	ojexplain -view v3 -update lineitem # the experimental view
+//	ojexplain -view ojview -update lineitem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ojv/internal/algebra"
+	"ojv/internal/fixture"
+	"ojv/internal/rel"
+	"ojv/internal/tpch"
+	"ojv/internal/view"
+)
+
+func main() {
+	viewName := flag.String("view", "v1", "v1 | v1fk | v2 | v2fk | v3 | core | ojview")
+	update := flag.String("update", "", "updated base table (defaults to a sensible table per view)")
+	flag.Parse()
+
+	cat, expr, defaultTable, err := resolveView(*viewName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ojexplain: %v\n", err)
+		os.Exit(1)
+	}
+	table := *update
+	if table == "" {
+		table = defaultTable
+	}
+	if err := explain(cat, expr, *viewName, table); err != nil {
+		fmt.Fprintf(os.Stderr, "ojexplain: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func resolveView(name string) (*rel.Catalog, algebra.Expr, string, error) {
+	switch name {
+	case "v1", "v1fk":
+		withFK := name == "v1fk"
+		cat, err := fixture.RSTU(fixture.RSTUOptions{Rows: 8, Seed: 1, WithFK: withFK})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return cat, fixture.V1Expr(withFK), "T", nil
+	case "v2", "v2fk":
+		withFK := name == "v2fk"
+		cat, err := fixture.COL(fixture.COLOptions{Customers: 5, Orders: 8, Lineitems: 12, Seed: 1, WithFK: withFK})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return cat, fixture.V2Expr(), "O", nil
+	case "v3", "core", "ojview":
+		db, err := tpch.Generate(tpch.Config{ScaleFactor: 0.0005, Seed: 1})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		switch name {
+		case "core":
+			return db.Catalog, tpch.V3CoreExpr(), "lineitem", nil
+		case "ojview":
+			return db.Catalog, tpch.OJViewExpr(), "lineitem", nil
+		default:
+			return db.Catalog, tpch.V3Expr(), "lineitem", nil
+		}
+	default:
+		return nil, nil, "", fmt.Errorf("unknown view %q (want v1, v1fk, v2, v2fk, v3, core or ojview)", name)
+	}
+}
+
+func explain(cat *rel.Catalog, expr algebra.Expr, name, table string) error {
+	fmt.Printf("view %s =\n%s\n", name, indent(algebra.FormatTree(expr)))
+
+	nfNoFK, err := algebra.Normalize(expr, nil)
+	if err != nil {
+		return err
+	}
+	nf, err := algebra.Normalize(expr, cat)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("join-disjunctive normal form (%d terms):\n", len(nf.Terms))
+	for i, t := range nf.Terms {
+		fmt.Printf("  E%d = σ[%s](%s)\n", i+1, t.Pred, strings.Join(t.Tables, " × "))
+	}
+	if len(nf.Eliminated) > 0 {
+		for _, t := range nf.Eliminated {
+			fmt.Printf("  (term {%s} eliminated: its net contribution is empty by a foreign key)\n", t.SourceKey())
+		}
+	}
+	fmt.Println("subsumption graph (term -> parents):")
+	for i, t := range nf.Terms {
+		var parents []string
+		for _, p := range nf.Parents[i] {
+			parents = append(parents, "{"+nf.Terms[p].SourceKey()+"}")
+		}
+		if len(parents) == 0 {
+			parents = []string{"(root)"}
+		}
+		fmt.Printf("  {%s} -> %s\n", t.SourceKey(), strings.Join(parents, " "))
+	}
+
+	gPlain, err := nfNoFK.MaintenanceGraph(table, algebra.MaintOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("maintenance graph for updates to %s:          %s\n", table, gPlain)
+	gFK, err := nf.MaintenanceGraph(table, algebra.MaintOptions{ExploitFKs: true, FKs: cat})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reduced maintenance graph (Theorem 3):        %s\n", orNone(gFK.String()))
+
+	bushy, err := view.BuildPrimaryDelta(cat, expr, table, false, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ΔV^D (Section 4 transform, bushy):\n%s", indent(algebra.FormatTree(bushy)))
+	leftDeep, err := view.BuildPrimaryDelta(cat, expr, table, true, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ΔV^D (left-deep, Section 4.1):\n%s", indent(algebra.FormatTree(leftDeep)))
+	simplified, err := view.BuildPrimaryDelta(cat, expr, table, true, true)
+	if err != nil {
+		return err
+	}
+	if simplified == nil {
+		fmt.Println("ΔV^D (FK-simplified, Section 6.1): provably empty")
+	} else {
+		fmt.Printf("ΔV^D (FK-simplified, Section 6.1):\n%s", indent(algebra.FormatTree(simplified)))
+	}
+
+	// The maintenance plan as the paper's Q1..Qn statements.
+	output := allOutput(cat, expr)
+	def, err := view.Define(cat, name, expr, output)
+	if err != nil {
+		return err
+	}
+	m, err := view.NewMaintainer(def, view.Options{})
+	if err != nil {
+		return err
+	}
+	for _, insert := range []bool{true, false} {
+		script, err := m.MaintenanceScript(table, insert)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s", script)
+	}
+	return nil
+}
+
+// allOutput projects every column of every referenced table.
+func allOutput(cat *rel.Catalog, expr algebra.Expr) []algebra.ColRef {
+	var out []algebra.ColRef
+	for _, t := range expr.Tables() {
+		sch, _ := cat.TableSchema(t)
+		for _, c := range sch {
+			out = append(out, algebra.Col(c.Table, c.Name))
+		}
+	}
+	return out
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(no affected terms — maintenance is a no-op)"
+	}
+	return s
+}

@@ -1,0 +1,62 @@
+package ojv_test
+
+import (
+	"fmt"
+
+	"ojv"
+)
+
+// ExampleDatabase shows the full lifecycle: schema, foreign keys, an
+// outer-join view, and incremental maintenance under inserts.
+func ExampleDatabase() {
+	db := ojv.NewDatabase()
+	db.MustCreateTable("orders", ojv.Cols(ojv.IntCol("ok")), "ok")
+	db.MustCreateTable("lineitem", ojv.Cols(
+		ojv.NotNull(ojv.IntCol("lok")), ojv.IntCol("ln")), "lok", "ln")
+	if err := db.AddForeignKey("lineitem", []string{"lok"}, "orders", []string{"ok"}); err != nil {
+		panic(err)
+	}
+	v, err := db.CreateView("ol",
+		ojv.Table("orders").LeftJoin(ojv.Table("lineitem"),
+			ojv.Eq("orders", "ok", "lineitem", "lok")),
+		ojv.Columns("orders.ok", "lineitem.lok", "lineitem.ln"))
+	if err != nil {
+		panic(err)
+	}
+	// An order without line items appears null-extended.
+	if err := db.Insert("orders", []ojv.Row{{ojv.Int(1)}}); err != nil {
+		panic(err)
+	}
+	fmt.Println("after order insert:", v.Len(), "row(s)")
+	// Its first line item replaces the orphan row.
+	if err := db.Insert("lineitem", []ojv.Row{{ojv.Int(1), ojv.Int(1)}}); err != nil {
+		panic(err)
+	}
+	fmt.Println("after lineitem insert:", v.Len(), "row(s), orphans removed:", v.LastStats.SecondaryRows)
+	// Output:
+	// after order insert: 1 row(s)
+	// after lineitem insert: 1 row(s), orphans removed: 1
+}
+
+// ExampleView_Select shows querying a maintained view.
+func ExampleView_Select() {
+	db := ojv.NewDatabase()
+	db.MustCreateTable("t", ojv.Cols(ojv.IntCol("k"), ojv.IntCol("v")), "k")
+	view, err := db.CreateView("tv", ojv.Table("t"), ojv.Columns("t.k", "t.v"))
+	if err != nil {
+		panic(err)
+	}
+	if err := db.Insert("t", []ojv.Row{
+		{ojv.Int(1), ojv.Int(10)},
+		{ojv.Int(2), ojv.Int(20)},
+	}); err != nil {
+		panic(err)
+	}
+	rows, err := view.Select(ojv.Cmp("t", "v", ojv.OpGt, ojv.Int(15)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(rows), "row(s) with v > 15")
+	// Output:
+	// 1 row(s) with v > 15
+}

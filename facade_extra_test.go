@@ -1,0 +1,122 @@
+package ojv_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"ojv"
+)
+
+func TestSnapshotThroughFacade(t *testing.T) {
+	db := newShopDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ojv.OpenSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Views are re-created over the restored tables and must match views
+	// over the original.
+	v1 := shopView(t, db)
+	v2 := shopView(t, db2)
+	if v1.Len() != v2.Len() {
+		t.Fatalf("restored view has %d rows, original %d", v2.Len(), v1.Len())
+	}
+	if err := v2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The restored database keeps maintaining.
+	if err := db2.Insert("lineitem", []ojv.Row{{ojv.Int(11), ojv.Int(1), ojv.Int(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ojv.OpenSnapshot(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("junk snapshot must be rejected")
+	}
+}
+
+func TestViewSelect(t *testing.T) {
+	db := newShopDB(t)
+	v := shopView(t, db)
+	// Orphan customers: rows null-extended on orders.
+	rows, err := v.Select(ojv.Cmp("customer", "ck", ojv.OpGe, ojv.Int(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != v.Len() {
+		t.Errorf("ck>=0 should keep all %d rows, got %d", v.Len(), len(rows))
+	}
+	rows, err = v.Select(ojv.Cmp("orders", "total", ojv.OpGt, ojv.Float(60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r[3].IsNull() || r[3].AsFloat() <= 60 {
+			t.Errorf("row fails predicate: %v", r)
+		}
+	}
+	if _, err := v.Select(ojv.Cmp("nosuch", "x", ojv.OpEq, ojv.Int(1))); err == nil {
+		t.Error("bad predicate column must fail")
+	}
+}
+
+func TestExplainMaintenanceThroughFacade(t *testing.T) {
+	db := newShopDB(t)
+	v := shopView(t, db)
+	script, err := v.ExplainMaintenance("lineitem", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(script, "primary delta") || !strings.Contains(script, "#delta") {
+		t.Errorf("script = %s", script)
+	}
+	if _, err := v.ExplainMaintenance("nosuch", true); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+// TestConcurrentReadersAndWriter drives parallel view reads against a
+// stream of updates; run with -race to validate the locking discipline.
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	db := newShopDB(t)
+	v := shopView(t, db)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = v.Len()
+				_ = v.Rows()
+				_, _ = v.Select(ojv.Cmp("customer", "ck", ojv.OpGe, ojv.Int(0)))
+				_ = v.TermCardinality("customer")
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		rows := []ojv.Row{{ojv.Int(10), ojv.Int(int64(1000 + i)), ojv.Int(int64(i))}}
+		if err := db.Insert("lineitem", rows); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Delete("lineitem", [][]ojv.Value{{ojv.Int(10), ojv.Int(int64(1000 + i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

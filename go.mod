@@ -1,0 +1,3 @@
+module ojv
+
+go 1.22

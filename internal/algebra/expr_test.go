@@ -1,0 +1,270 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"ojv/internal/rel"
+)
+
+// resolver is a minimal SchemaResolver for expression tests.
+type resolver map[string]rel.Schema
+
+func (r resolver) TableSchema(name string) (rel.Schema, bool) {
+	s, ok := r[name]
+	return s, ok
+}
+
+func twoTables() resolver {
+	return resolver{
+		"a": {
+			{Table: "a", Name: "k", Kind: rel.KindInt, NotNull: true},
+			{Table: "a", Name: "x", Kind: rel.KindInt},
+		},
+		"b": {
+			{Table: "b", Name: "k", Kind: rel.KindInt, NotNull: true},
+			{Table: "b", Name: "y", Kind: rel.KindInt},
+		},
+	}
+}
+
+func TestSchemaOfLeaves(t *testing.T) {
+	res := twoTables()
+	for _, e := range []Expr{
+		&TableRef{Name: "a"},
+		&DeltaRef{Name: "a"},
+		&OldTableRef{Name: "a"},
+		&RelRef{Name: "a", TableNames: []string{"a"}},
+	} {
+		sch, err := SchemaOf(e, res)
+		if err != nil || len(sch) != 2 {
+			t.Errorf("%s: schema=%v err=%v", e, sch, err)
+		}
+	}
+	if _, err := SchemaOf(&TableRef{Name: "nosuch"}, res); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+func TestSchemaOfJoinNullability(t *testing.T) {
+	res := twoTables()
+	mk := func(kind JoinKind) *Join {
+		return &Join{Kind: kind, Left: &TableRef{Name: "a"}, Right: &TableRef{Name: "b"}, Pred: Eq("a", "x", "b", "y")}
+	}
+	cases := []struct {
+		kind                 JoinKind
+		width                int
+		aNullable, bNullable bool
+	}{
+		{InnerJoin, 4, false, false},
+		{LeftOuterJoin, 4, false, true},
+		{RightOuterJoin, 4, true, false},
+		{FullOuterJoin, 4, true, true},
+	}
+	for _, c := range cases {
+		sch, err := SchemaOf(mk(c.kind), res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sch) != c.width {
+			t.Fatalf("%s: width %d", c.kind, len(sch))
+		}
+		aKey := sch[sch.IndexOf("a", "k")]
+		bKey := sch[sch.IndexOf("b", "k")]
+		if aKey.NotNull == c.aNullable {
+			t.Errorf("%s: a.k NotNull=%v", c.kind, aKey.NotNull)
+		}
+		if bKey.NotNull == c.bNullable {
+			t.Errorf("%s: b.k NotNull=%v", c.kind, bKey.NotNull)
+		}
+	}
+	// Semi/anti joins keep the left schema.
+	for _, kind := range []JoinKind{SemiJoin, AntiJoin} {
+		sch, err := SchemaOf(mk(kind), res)
+		if err != nil || len(sch) != 2 || !sch.Has("a", "k") {
+			t.Errorf("%s: schema=%v err=%v", kind, sch, err)
+		}
+	}
+}
+
+func TestSchemaOfProjectSelectUnary(t *testing.T) {
+	res := twoTables()
+	base := &TableRef{Name: "a"}
+	p := &Project{Input: base, Cols: []ColRef{Col("a", "x")}}
+	sch, err := SchemaOf(p, res)
+	if err != nil || len(sch) != 1 || sch[0].Name != "x" {
+		t.Errorf("project schema=%v err=%v", sch, err)
+	}
+	if _, err := SchemaOf(&Project{Input: base, Cols: []ColRef{Col("a", "nosuch")}}, res); err == nil {
+		t.Error("bad projected column must fail")
+	}
+	for _, e := range []Expr{
+		&Select{Input: base, Pred: TruePred{}},
+		&Dedup{Input: base},
+		&RemoveSubsumed{Input: base},
+		&Condense{Input: base},
+	} {
+		sch, err := SchemaOf(e, res)
+		if err != nil || len(sch) != 2 {
+			t.Errorf("%T: schema=%v err=%v", e, sch, err)
+		}
+	}
+	// NullIf makes the nulled tables' columns nullable.
+	ni := &NullIf{Input: base, Unless: TruePred{}, NullTables: []string{"a"}}
+	sch, err = SchemaOf(ni, res)
+	if err != nil || sch[0].NotNull {
+		t.Errorf("nullif: a.k must become nullable: %v err=%v", sch, err)
+	}
+}
+
+func TestSchemaOfUnions(t *testing.T) {
+	res := twoTables()
+	u := &OuterUnion{Inputs: []Expr{&TableRef{Name: "a"}, &TableRef{Name: "b"}}}
+	sch, err := SchemaOf(u, res)
+	if err != nil || len(sch) != 4 {
+		t.Fatalf("outer union schema=%v err=%v", sch, err)
+	}
+	// Every column is nullable (absent from the other input).
+	for _, c := range sch {
+		if c.NotNull {
+			t.Errorf("union column %s should be nullable", c.QualifiedName())
+		}
+	}
+	mu := &MinUnion{Inputs: []Expr{&TableRef{Name: "a"}, &TableRef{Name: "b"}}}
+	if sch2, err := SchemaOf(mu, res); err != nil || len(sch2) != 4 {
+		t.Errorf("min union schema=%v err=%v", sch2, err)
+	}
+	if got := u.Tables(); len(got) != 2 {
+		t.Errorf("union tables=%v", got)
+	}
+}
+
+func TestSchemaOfGroupBy(t *testing.T) {
+	res := twoTables()
+	g := &GroupBy{
+		Input:     &TableRef{Name: "a"},
+		GroupCols: []ColRef{Col("a", "k")},
+		Aggs: []Aggregate{
+			{Func: AggCount, Name: "n"},
+			{Func: AggSum, Col: Col("a", "x"), Name: "s"},
+		},
+	}
+	sch, err := SchemaOf(g, res)
+	if err != nil || len(sch) != 3 {
+		t.Fatalf("groupby schema=%v err=%v", sch, err)
+	}
+	if sch[1].Kind != rel.KindInt || sch[2].Kind != rel.KindFloat {
+		t.Errorf("agg kinds: %v", sch)
+	}
+	g.GroupCols = []ColRef{Col("a", "nosuch")}
+	if _, err := SchemaOf(g, res); err == nil {
+		t.Error("bad group column must fail")
+	}
+}
+
+func TestSchemaOfPad(t *testing.T) {
+	res := twoTables()
+	p := &Pad{Input: &TableRef{Name: "a"}, Tables_: []string{"b"}}
+	sch, err := SchemaOf(p, res)
+	if err != nil || len(sch) != 4 {
+		t.Fatalf("pad schema=%v err=%v", sch, err)
+	}
+	if sch[2].NotNull || sch[3].NotNull {
+		t.Error("padded columns must be nullable")
+	}
+	if got := p.Tables(); len(got) != 2 || got[1] != "b" {
+		t.Errorf("pad tables=%v", got)
+	}
+	if _, err := SchemaOf(&Pad{Input: &TableRef{Name: "a"}, Tables_: []string{"nosuch"}}, res); err == nil {
+		t.Error("pad with unknown table must fail")
+	}
+}
+
+func TestCloneExprIndependence(t *testing.T) {
+	orig := &Join{
+		Kind: LeftOuterJoin,
+		Left: &Select{Input: &TableRef{Name: "a"}, Pred: TruePred{}},
+		Right: &Condense{
+			Input:    &NullIf{Input: &TableRef{Name: "b"}, Unless: TruePred{}, NullTables: []string{"b"}},
+			GroupKey: []ColRef{Col("b", "k")},
+		},
+		Pred: Eq("a", "x", "b", "y"),
+	}
+	clone := CloneExpr(orig).(*Join)
+	// Mutating the clone must not affect the original.
+	clone.Kind = InnerJoin
+	clone.Left.(*Select).Input = &TableRef{Name: "b"}
+	if orig.Kind != LeftOuterJoin {
+		t.Error("clone shares the join node")
+	}
+	if orig.Left.(*Select).Input.(*TableRef).Name != "a" {
+		t.Error("clone shares the select node")
+	}
+	// All node types survive cloning.
+	for _, e := range []Expr{
+		&DeltaRef{Name: "a"}, &OldTableRef{Name: "a"},
+		&RelRef{Name: "r", TableNames: []string{"a"}},
+		&Project{Input: &TableRef{Name: "a"}, Cols: []ColRef{Col("a", "k")}},
+		&OuterUnion{Inputs: []Expr{&TableRef{Name: "a"}}},
+		&MinUnion{Inputs: []Expr{&TableRef{Name: "a"}}},
+		&RemoveSubsumed{Input: &TableRef{Name: "a"}},
+		&Dedup{Input: &TableRef{Name: "a"}},
+		&Pad{Input: &TableRef{Name: "a"}, Tables_: []string{"b"}},
+		&GroupBy{Input: &TableRef{Name: "a"}, GroupCols: []ColRef{Col("a", "k")}},
+	} {
+		c := CloneExpr(e)
+		if c.String() != e.String() {
+			t.Errorf("clone of %T differs: %s vs %s", e, c, e)
+		}
+	}
+}
+
+func TestFormatTreeCoversAllNodes(t *testing.T) {
+	e := &Project{
+		Cols: []ColRef{Col("a", "k")},
+		Input: &Condense{
+			Input: &NullIf{
+				Unless:     TruePred{},
+				NullTables: []string{"b"},
+				Input: &Dedup{Input: &RemoveSubsumed{Input: &MinUnion{Inputs: []Expr{
+					&OuterUnion{Inputs: []Expr{
+						&Pad{Input: &TableRef{Name: "a"}, Tables_: []string{"b"}},
+						&Join{Kind: FullOuterJoin, Left: &DeltaRef{Name: "a"}, Right: &OldTableRef{Name: "b"}, Pred: Eq("a", "x", "b", "y")},
+					}},
+					&GroupBy{Input: &Select{Input: &TableRef{Name: "b"}, Pred: TruePred{}}, GroupCols: []ColRef{Col("b", "k")}, Aggs: []Aggregate{{Func: AggCount, Name: "n"}}},
+				}}}},
+			},
+		},
+	}
+	out := FormatTree(e)
+	for _, want := range []string{"π[", "condense", "λ[", "δ", "↓", "min-union", "outer-union", "pad[", "fo[", "Δa", "bᵒ", "σ[", "γ["} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTree missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJoinKindAndAffectStrings(t *testing.T) {
+	if InnerJoin.String() != "join" || LeftOuterJoin.String() != "lo" ||
+		RightOuterJoin.String() != "ro" || FullOuterJoin.String() != "fo" ||
+		SemiJoin.String() != "semijoin" || AntiJoin.String() != "antijoin" {
+		t.Error("JoinKind strings")
+	}
+	if Direct.String() != "D" || Indirect.String() != "I" || Unaffected.String() != "-" {
+		t.Error("Affect strings")
+	}
+	if AggCount.String() != "count" || AggSum.String() != "sum" || AggAvg.String() != "avg" {
+		t.Error("AggFunc strings")
+	}
+}
+
+func TestSortedTablesAndTableSet(t *testing.T) {
+	e := &Join{Kind: InnerJoin, Left: &TableRef{Name: "b"}, Right: &TableRef{Name: "a"}, Pred: Eq("b", "y", "a", "x")}
+	if got := SortedTables(e); got[0] != "a" || got[1] != "b" {
+		t.Errorf("SortedTables = %v", got)
+	}
+	set := TableSet(e)
+	if !set["a"] || !set["b"] || len(set) != 2 {
+		t.Errorf("TableSet = %v", set)
+	}
+}

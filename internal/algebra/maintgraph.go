@@ -1,0 +1,170 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Affect classifies how an update to a base table affects a normal-form
+// term (paper Section 3.1).
+type Affect int8
+
+// Affect values.
+const (
+	Unaffected Affect = iota
+	Direct
+	Indirect
+)
+
+// String returns the paper's superscript notation.
+func (a Affect) String() string {
+	switch a {
+	case Direct:
+		return "D"
+	case Indirect:
+		return "I"
+	default:
+		return "-"
+	}
+}
+
+// MaintGraph is the view maintenance graph for an update to one base table:
+// the subsumption graph restricted to affected terms, with each term
+// classified as directly or indirectly affected (paper Section 3.1), and
+// optionally reduced using foreign keys (Theorem 3, Section 6.2).
+type MaintGraph struct {
+	NF      *NormalForm
+	Updated string
+	// Class[i] classifies term i of NF.
+	Class []Affect
+	// DirectParents[i] lists the directly affected parents (pard) of an
+	// indirectly affected term i; IndirectParents[i] the indirectly affected
+	// parents (pari).
+	DirectParents   [][]int
+	IndirectParents [][]int
+	// FKPruned lists terms that Theorem 3 reclassified from directly
+	// affected to unaffected, for EXPLAIN output.
+	FKPruned []int
+}
+
+// MaintOptions controls maintenance-graph construction.
+type MaintOptions struct {
+	// ExploitFKs enables the Theorem 3 reduction. It must be disabled when
+	// the update is a modify decomposed into delete+insert, when the
+	// constraint cascades, or when it is deferrable inside a multi-statement
+	// transaction (the three exclusions of Section 6).
+	ExploitFKs bool
+	FKs        FKProvider
+}
+
+// MaintenanceGraph classifies the normal form's terms for an update to the
+// given base table.
+func (nf *NormalForm) MaintenanceGraph(updated string, opts MaintOptions) (*MaintGraph, error) {
+	if !containsAll(nf.AllTables, []string{updated}) {
+		return nil, fmt.Errorf("algebra: table %s is not referenced by the view", updated)
+	}
+	g := &MaintGraph{
+		NF:              nf,
+		Updated:         updated,
+		Class:           make([]Affect, len(nf.Terms)),
+		DirectParents:   make([][]int, len(nf.Terms)),
+		IndirectParents: make([][]int, len(nf.Terms)),
+	}
+	// Pass 1: direct terms, with Theorem 3 pruning.
+	for i, t := range nf.Terms {
+		if !t.Has(updated) {
+			continue
+		}
+		if opts.ExploitFKs && opts.FKs != nil && termUnaffectedByFK(t, updated, opts.FKs) {
+			g.FKPruned = append(g.FKPruned, i)
+			continue
+		}
+		g.Class[i] = Direct
+	}
+	// Pass 2: indirect terms — a term not referencing the updated table is
+	// affected only if at least one of its subsumption-graph parents is
+	// directly affected (its orphan status depends on parent term tuples,
+	// which contain the updated table).
+	for i, t := range nf.Terms {
+		if t.Has(updated) {
+			continue
+		}
+		for _, p := range nf.Parents[i] {
+			if g.Class[p] == Direct {
+				g.Class[i] = Indirect
+				g.DirectParents[i] = append(g.DirectParents[i], p)
+			}
+		}
+	}
+	// Pass 3: indirect parents of indirect terms (used by the base-table
+	// secondary-delta formulas).
+	for i := range nf.Terms {
+		if g.Class[i] != Indirect {
+			continue
+		}
+		for _, p := range nf.Parents[i] {
+			if g.Class[p] == Indirect {
+				g.IndirectParents[i] = append(g.IndirectParents[i], p)
+			}
+		}
+	}
+	return g, nil
+}
+
+// termUnaffectedByFK implements Theorem 3: the net contribution of a
+// directly affected term is unaffected by an insertion or deletion on T if
+// the term's source set contains another table R with a foreign key
+// referencing T, joined on exactly that foreign key within the term's
+// predicate.
+func termUnaffectedByFK(t Term, updated string, fks FKProvider) bool {
+	conj := ConjunctSet(t.Pred)
+	for _, r := range t.Tables {
+		if r == updated {
+			continue
+		}
+		for _, fk := range fks.ForeignKeys(r) {
+			if fk.RefTable != updated {
+				continue
+			}
+			all := true
+			for i := range fk.Cols {
+				if !conj[CanonicalConjunct(Eq(r, fk.Cols[i], updated, fk.RefCols[i]))] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DirectTerms returns the indexes of directly affected terms.
+func (g *MaintGraph) DirectTerms() []int { return g.termsOf(Direct) }
+
+// IndirectTerms returns the indexes of indirectly affected terms.
+func (g *MaintGraph) IndirectTerms() []int { return g.termsOf(Indirect) }
+
+func (g *MaintGraph) termsOf(a Affect) []int {
+	var out []int
+	for i, c := range g.Class {
+		if c == a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the graph like the paper's figures: "{C,O}D {O}D {C}I".
+func (g *MaintGraph) String() string {
+	var parts []string
+	for i, t := range g.NF.Terms {
+		if g.Class[i] == Unaffected {
+			continue
+		}
+		parts = append(parts, "{"+strings.Join(t.Tables, ",")+"}"+g.Class[i].String())
+	}
+	return strings.Join(parts, " ")
+}

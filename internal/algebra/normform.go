@@ -1,0 +1,316 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ojv/internal/rel"
+)
+
+// Term is one term of the join-disjunctive normal form: a selection over
+// the cross product of its source tables, σ_pred(T1 × ... × Tn).
+type Term struct {
+	// Tables is the sorted source table set.
+	Tables []string
+	// Pred is the conjunction of the original selection and join predicates
+	// that apply to this term.
+	Pred Pred
+}
+
+// SourceKey returns a canonical string identifying the source set.
+func (t Term) SourceKey() string { return strings.Join(t.Tables, ",") }
+
+// Has reports whether table is one of the term's source tables.
+func (t Term) Has(table string) bool {
+	for _, s := range t.Tables {
+		if s == table {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether t's source set is a subset of o's.
+func (t Term) SubsetOf(o Term) bool {
+	if len(t.Tables) > len(o.Tables) {
+		return false
+	}
+	j := 0
+	for _, s := range t.Tables {
+		for j < len(o.Tables) && o.Tables[j] < s {
+			j++
+		}
+		if j >= len(o.Tables) || o.Tables[j] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// FKProvider exposes declared foreign keys; *rel.Catalog implements it.
+type FKProvider interface {
+	ForeignKeys(table string) []rel.ForeignKey
+}
+
+// NormalForm is the join-disjunctive normal form of an SPOJ expression:
+// the minimum union of its terms (paper Section 2.2), together with the
+// subsumption graph over the terms (Section 2.3).
+type NormalForm struct {
+	// AllTables is the sorted set of all operand tables (the paper's U).
+	AllTables []string
+	// Terms are the normal-form terms, sorted by descending source-set size
+	// then lexically, so supersets precede subsets.
+	Terms []Term
+	// Parents[i] lists the indexes of term i's parents in the subsumption
+	// graph (terms whose source set is a minimal superset of term i's).
+	Parents [][]int
+	// Children[i] is the inverse of Parents.
+	Children [][]int
+	// Eliminated records terms removed by foreign-key reasoning during
+	// normalization (their net contribution is provably empty), for
+	// EXPLAIN-style reporting.
+	Eliminated []Term
+}
+
+// Normalize converts an SPOJ expression to join-disjunctive normal form.
+// The expression may contain Select, Project, TableRef/DeltaRef leaves and
+// Inner/LeftOuter/RightOuter/FullOuter joins; Project nodes are transparent
+// (the normal form describes the unprojected tuple space).
+//
+// If fks is non-nil, terms whose net contribution is provably empty because
+// of a foreign-key constraint are eliminated, exactly as the paper's
+// conversion algorithm does: a term t with source set S is empty whenever
+// the form also contains a term over S ∪ {P} whose only additional
+// predicate is the foreign-key equijoin from some table in S to P.
+func Normalize(e Expr, fks FKProvider) (*NormalForm, error) {
+	terms, err := normalize(e)
+	if err != nil {
+		return nil, err
+	}
+	nf := &NormalForm{AllTables: SortedTables(e)}
+	// Check source-set uniqueness (guaranteed for SPOJ with null-rejecting
+	// predicates; violation means the input was out of contract).
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		k := t.SourceKey()
+		if seen[k] {
+			return nil, fmt.Errorf("algebra: duplicate normal-form term over {%s}", k)
+		}
+		seen[k] = true
+	}
+	if fks != nil {
+		terms, nf.Eliminated = eliminateFKTerms(terms, fks)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if len(terms[i].Tables) != len(terms[j].Tables) {
+			return len(terms[i].Tables) > len(terms[j].Tables)
+		}
+		return terms[i].SourceKey() < terms[j].SourceKey()
+	})
+	nf.Terms = terms
+	nf.buildSubsumptionGraph()
+	return nf, nil
+}
+
+func normalize(e Expr) ([]Term, error) {
+	switch n := e.(type) {
+	case *TableRef:
+		return []Term{{Tables: []string{n.Name}, Pred: TruePred{}}}, nil
+	case *DeltaRef:
+		return []Term{{Tables: []string{n.Name}, Pred: TruePred{}}}, nil
+	case *Project:
+		return normalize(n.Input)
+	case *Select:
+		in, err := normalize(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		var out []Term
+		for _, t := range in {
+			if containsAll(t.Tables, PredTables(n.Pred)) {
+				out = append(out, Term{Tables: t.Tables, Pred: MakeAnd(t.Pred, n.Pred)})
+			}
+			// Terms missing a referenced table are dropped: the predicate is
+			// null-rejecting, so tuples null-extended on that table fail it.
+		}
+		return out, nil
+	case *Join:
+		l, err := normalize(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := normalize(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		var out []Term
+		predTables := PredTables(n.Pred)
+		for _, tl := range l {
+			for _, tr := range r {
+				union := mergeSorted(tl.Tables, tr.Tables)
+				if containsAll(union, predTables) {
+					out = append(out, Term{Tables: union, Pred: MakeAnd(tl.Pred, tr.Pred, n.Pred)})
+				}
+			}
+		}
+		switch n.Kind {
+		case InnerJoin:
+		case LeftOuterJoin:
+			out = append(out, l...)
+		case RightOuterJoin:
+			out = append(out, r...)
+		case FullOuterJoin:
+			out = append(out, l...)
+			out = append(out, r...)
+		default:
+			return nil, fmt.Errorf("algebra: normalize: %s join is not an SPOJ operator", n.Kind)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("algebra: normalize: %T is not an SPOJ operator", e)
+	}
+}
+
+// eliminateFKTerms removes terms whose net contribution is empty by
+// foreign-key reasoning.
+func eliminateFKTerms(terms []Term, fks FKProvider) (kept, eliminated []Term) {
+	byKey := make(map[string]Term, len(terms))
+	for _, t := range terms {
+		byKey[t.SourceKey()] = t
+	}
+	for _, t := range terms {
+		if fkSubsumedTerm(t, byKey, fks) {
+			eliminated = append(eliminated, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	return kept, eliminated
+}
+
+// fkSubsumedTerm reports whether every tuple of term t is guaranteed to be
+// subsumed by a tuple of a term over t's sources plus one referenced table.
+func fkSubsumedTerm(t Term, byKey map[string]Term, fks FKProvider) bool {
+	tConj := ConjunctSet(t.Pred)
+	for _, s := range t.Tables {
+		for _, fk := range fks.ForeignKeys(s) {
+			p := fk.RefTable
+			if t.Has(p) {
+				continue
+			}
+			parent, ok := byKey[Term{Tables: mergeSorted(t.Tables, []string{p})}.SourceKey()]
+			if !ok {
+				continue
+			}
+			// The parent's predicate must be exactly t's predicate plus the
+			// FK equijoin: then every t-tuple joins its (existing, unique)
+			// parent row and is subsumed.
+			want := make(map[string]bool, len(tConj)+len(fk.Cols))
+			for k := range tConj {
+				want[k] = true
+			}
+			for i := range fk.Cols {
+				want[CanonicalConjunct(Eq(s, fk.Cols[i], p, fk.RefCols[i]))] = true
+			}
+			if setsEqual(ConjunctSet(parent.Pred), want) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (nf *NormalForm) buildSubsumptionGraph() {
+	n := len(nf.Terms)
+	nf.Parents = make([][]int, n)
+	nf.Children = make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !nf.Terms[i].SubsetOf(nf.Terms[j]) {
+				continue
+			}
+			// j is a superset of i; check minimality.
+			minimal := true
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if nf.Terms[i].SubsetOf(nf.Terms[k]) && nf.Terms[k].SubsetOf(nf.Terms[j]) &&
+					len(nf.Terms[k].Tables) != len(nf.Terms[i].Tables) && len(nf.Terms[k].Tables) != len(nf.Terms[j].Tables) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				nf.Parents[i] = append(nf.Parents[i], j)
+				nf.Children[j] = append(nf.Children[j], i)
+			}
+		}
+	}
+}
+
+// TermIndex returns the index of the term with the given sorted source set,
+// or -1.
+func (nf *NormalForm) TermIndex(tables []string) int {
+	key := strings.Join(tables, ",")
+	for i, t := range nf.Terms {
+		if t.SourceKey() == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the normal form as "σ[p](A×B) ⊕ ...".
+func (nf *NormalForm) String() string {
+	parts := make([]string, len(nf.Terms))
+	for i, t := range nf.Terms {
+		parts[i] = "σ[" + t.Pred.String() + "](" + strings.Join(t.Tables, "×") + ")"
+	}
+	return strings.Join(parts, " ⊕ ")
+}
+
+func containsAll(sortedSet, items []string) bool {
+	for _, it := range items {
+		i := sort.SearchStrings(sortedSet, it)
+		if i >= len(sortedSet) || sortedSet[i] != it {
+			return false
+		}
+	}
+	return true
+}
+
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

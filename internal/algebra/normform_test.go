@@ -1,0 +1,451 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"ojv/internal/rel"
+)
+
+// rstuCatalog builds the abstract R,S,T,U schema used by the paper's
+// running example V1 (Example 2). Join attributes: p(r,s)=R.b=S.b,
+// p(r,t)=R.c=T.c, p(t,u)=T.d=U.d.
+func rstuCatalog(t testing.TB) *rel.Catalog {
+	t.Helper()
+	c := rel.NewCatalog()
+	mk := func(name string, cols ...string) {
+		cc := make([]rel.Column, len(cols))
+		for i, col := range cols {
+			cc[i] = rel.Column{Name: col, Kind: rel.KindInt}
+		}
+		if _, err := c.CreateTable(name, cc, cols[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("R", "rk", "b", "c")
+	mk("S", "sk", "b")
+	mk("T", "tk", "c", "d")
+	mk("U", "uk", "d", "tfk")
+	return c
+}
+
+// v1Expr is V1 = (R fo[p(r,s)] S) lo[p(r,t)] (T fo[p(t,u)] U).
+func v1Expr() Expr {
+	return &Join{
+		Kind:  LeftOuterJoin,
+		Left:  &Join{Kind: FullOuterJoin, Left: &TableRef{Name: "R"}, Right: &TableRef{Name: "S"}, Pred: Eq("R", "b", "S", "b")},
+		Right: &Join{Kind: FullOuterJoin, Left: &TableRef{Name: "T"}, Right: &TableRef{Name: "U"}, Pred: Eq("T", "d", "U", "d")},
+		Pred:  Eq("R", "c", "T", "c"),
+	}
+}
+
+func termKeys(nf *NormalForm) []string {
+	out := make([]string, len(nf.Terms))
+	for i, t := range nf.Terms {
+		out[i] = t.SourceKey()
+	}
+	return out
+}
+
+func TestV1NormalForm(t *testing.T) {
+	// Example 2: seven terms TURS, TUR, TRS, TR, RS, R, S.
+	nf, err := Normalize(v1Expr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(termKeys(nf), " ")
+	want := "R,S,T,U R,S,T R,T,U R,S R,T R S"
+	if got != want {
+		t.Fatalf("terms = %q, want %q", got, want)
+	}
+	// Predicate of the full term is p(r,s) ∧ p(r,t) ∧ p(t,u).
+	full := nf.Terms[0]
+	wantConj := ConjunctSet(MakeAnd(Eq("R", "b", "S", "b"), Eq("R", "c", "T", "c"), Eq("T", "d", "U", "d")))
+	if !setsEqual(ConjunctSet(full.Pred), wantConj) {
+		t.Errorf("full term pred = %s", full.Pred)
+	}
+	// Leaf terms carry no predicate.
+	for _, i := range []int{5, 6} {
+		if len(Conjuncts(nf.Terms[i].Pred)) != 0 {
+			t.Errorf("term %s should have empty predicate, got %s", nf.Terms[i].SourceKey(), nf.Terms[i].Pred)
+		}
+	}
+}
+
+func TestV1SubsumptionGraph(t *testing.T) {
+	// Figure 1(a).
+	nf, err := Normalize(v1Expr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := func(tabs ...string) int {
+		i := nf.TermIndex(tabs)
+		if i < 0 {
+			t.Fatalf("missing term %v", tabs)
+		}
+		return i
+	}
+	turs := idx("R", "S", "T", "U")
+	tur := idx("R", "T", "U")
+	trs := idx("R", "S", "T")
+	tr := idx("R", "T")
+	rs := idx("R", "S")
+	r := idx("R")
+	s := idx("S")
+
+	wantParents := map[int][]int{
+		turs: nil,
+		tur:  {turs},
+		trs:  {turs},
+		tr:   {tur, trs},
+		rs:   {trs},
+		r:    {tr, rs},
+		s:    {rs},
+	}
+	for node, want := range wantParents {
+		got := nf.Parents[node]
+		if !sameIntSetSlice(got, want) {
+			t.Errorf("parents of %s = %v, want %v", nf.Terms[node].SourceKey(), names(nf, got), names(nf, want))
+		}
+	}
+	// Children are the inverse relation.
+	for i := range nf.Terms {
+		for _, p := range nf.Parents[i] {
+			found := false
+			for _, c := range nf.Children[p] {
+				if c == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("children[%d] missing %d", p, i)
+			}
+		}
+	}
+}
+
+func names(nf *NormalForm, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = nf.Terms[j].SourceKey()
+	}
+	return out
+}
+
+func sameIntSetSlice(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[int]bool, len(a))
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestV1MaintenanceGraph(t *testing.T) {
+	// Figure 1(b): update T. Direct: TURS, TUR, TRS, TR. Indirect: RS, R.
+	// S is unaffected (its only parent RS does not reference T).
+	nf, err := Normalize(v1Expr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := nf.MaintenanceGraph("T", MaintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClass := map[string]Affect{
+		"R,S,T,U": Direct,
+		"R,S,T":   Direct,
+		"R,T,U":   Direct,
+		"R,T":     Direct,
+		"R,S":     Indirect,
+		"R":       Indirect,
+		"S":       Unaffected,
+	}
+	for i, term := range nf.Terms {
+		if g.Class[i] != wantClass[term.SourceKey()] {
+			t.Errorf("class(%s) = %v, want %v", term.SourceKey(), g.Class[i], wantClass[term.SourceKey()])
+		}
+	}
+	// pard(RS) = {TRS}; pard(R) = {TR}, pari(R) = {RS}.
+	rs := nf.TermIndex([]string{"R", "S"})
+	r := nf.TermIndex([]string{"R"})
+	if !sameIntSetSlice(g.DirectParents[rs], []int{nf.TermIndex([]string{"R", "S", "T"})}) {
+		t.Errorf("pard(RS) = %v", names(nf, g.DirectParents[rs]))
+	}
+	if !sameIntSetSlice(g.DirectParents[r], []int{nf.TermIndex([]string{"R", "T"})}) {
+		t.Errorf("pard(R) = %v", names(nf, g.DirectParents[r]))
+	}
+	if !sameIntSetSlice(g.IndirectParents[r], []int{rs}) {
+		t.Errorf("pari(R) = %v", names(nf, g.IndirectParents[r]))
+	}
+	if len(g.DirectTerms()) != 4 || len(g.IndirectTerms()) != 2 {
+		t.Errorf("direct=%d indirect=%d", len(g.DirectTerms()), len(g.IndirectTerms()))
+	}
+	if _, err := nf.MaintenanceGraph("nosuch", MaintOptions{}); err == nil {
+		t.Error("unknown table must be rejected")
+	}
+}
+
+// colCatalog builds the C,O,L schema of view V2 (Example 11).
+func colCatalog(t testing.TB, withFK bool) *rel.Catalog {
+	t.Helper()
+	c := rel.NewCatalog()
+	if _, err := c.CreateTable("C", []rel.Column{{Name: "ck", Kind: rel.KindInt}, {Name: "a", Kind: rel.KindInt}}, "ck"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("O", []rel.Column{{Name: "ok", Kind: rel.KindInt}, {Name: "ock", Kind: rel.KindInt}, {Name: "a", Kind: rel.KindInt}}, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("L", []rel.Column{{Name: "lk", Kind: rel.KindInt}, {Name: "lok", Kind: rel.KindInt, NotNull: true}}, "lk"); err != nil {
+		t.Fatal(err)
+	}
+	if withFK {
+		if err := c.AddForeignKey("L", []string{"lok"}, "O", []string{"ok"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// v2Expr is V2 = σpc(C) fo[ck=ock] (σpo(O) fo[ok=lok] L).
+func v2Expr() Expr {
+	return &Join{
+		Kind: FullOuterJoin,
+		Left: &Select{Input: &TableRef{Name: "C"}, Pred: CmpConst("C", "a", OpGt, rel.Int(0))},
+		Right: &Join{
+			Kind:  FullOuterJoin,
+			Left:  &Select{Input: &TableRef{Name: "O"}, Pred: CmpConst("O", "a", OpGt, rel.Int(0))},
+			Right: &TableRef{Name: "L"},
+			Pred:  Eq("O", "ok", "L", "lok"),
+		},
+		Pred: Eq("C", "ck", "O", "ock"),
+	}
+}
+
+func TestV2NormalForm(t *testing.T) {
+	// Section 6.2: six terms COL, CO, OL, C, O, L.
+	nf, err := Normalize(v2Expr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(termKeys(nf), " ")
+	want := "C,L,O C,O L,O C L O"
+	if got != want {
+		t.Fatalf("terms = %q, want %q", got, want)
+	}
+}
+
+func TestV2MaintenanceGraphFigure4(t *testing.T) {
+	// Figure 4(a): update O without FK reasoning — COL,CO,OL,O direct; C,L
+	// indirect.
+	nf, err := Normalize(v2Expr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := nf.MaintenanceGraph("O", MaintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.String(); got != "{C,L,O}D {C,O}D {L,O}D {C}I {L}I {O}D" {
+		t.Errorf("figure 4(a) graph = %q", got)
+	}
+
+	// Figure 4(b): with FK L.lok→O.ok, terms COL and OL are pruned
+	// (Theorem 3), which orphans L; reduced graph is {C,O}D {O}D {C}I.
+	cat := colCatalog(t, true)
+	g2, err := nf.MaintenanceGraph("O", MaintOptions{ExploitFKs: true, FKs: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.String(); got != "{C,O}D {C}I {O}D" {
+		t.Errorf("figure 4(b) reduced graph = %q", got)
+	}
+	if len(g2.FKPruned) != 2 {
+		t.Errorf("FKPruned = %v", g2.FKPruned)
+	}
+}
+
+// ojViewCatalog builds the part/orders/lineitem schema of Example 1.
+func ojViewCatalog(t testing.TB, withFKs bool) *rel.Catalog {
+	t.Helper()
+	c := rel.NewCatalog()
+	if _, err := c.CreateTable("part", []rel.Column{{Name: "p_partkey", Kind: rel.KindInt}, {Name: "p_name", Kind: rel.KindString}}, "p_partkey"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("orders", []rel.Column{{Name: "o_orderkey", Kind: rel.KindInt}, {Name: "o_custkey", Kind: rel.KindInt}}, "o_orderkey"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("lineitem", []rel.Column{
+		{Name: "l_orderkey", Kind: rel.KindInt, NotNull: true},
+		{Name: "l_linenumber", Kind: rel.KindInt},
+		{Name: "l_partkey", Kind: rel.KindInt, NotNull: true},
+	}, "l_orderkey", "l_linenumber"); err != nil {
+		t.Fatal(err)
+	}
+	if withFKs {
+		if err := c.AddForeignKey("lineitem", []string{"l_orderkey"}, "orders", []string{"o_orderkey"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddForeignKey("lineitem", []string{"l_partkey"}, "part", []string{"p_partkey"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// ojViewExpr is Example 1's view: part fo (orders lo lineitem).
+func ojViewExpr() Expr {
+	return &Join{
+		Kind: FullOuterJoin,
+		Left: &TableRef{Name: "part"},
+		Right: &Join{
+			Kind:  LeftOuterJoin,
+			Left:  &TableRef{Name: "orders"},
+			Right: &TableRef{Name: "lineitem"},
+			Pred:  Eq("lineitem", "l_orderkey", "orders", "o_orderkey"),
+		},
+		Pred: Eq("part", "p_partkey", "lineitem", "l_partkey"),
+	}
+}
+
+func TestExample1NormalForm(t *testing.T) {
+	// Without FK reasoning the form has 4 terms ({P,O,L}, {O,L}, {O}, {P});
+	// with the lineitem→part FK the {O,L} term is eliminated, leaving the
+	// three tuple types the paper derives in the introduction.
+	nf, err := Normalize(ojViewExpr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nf.Terms) != 4 {
+		t.Fatalf("without FKs: %d terms (%v)", len(nf.Terms), termKeys(nf))
+	}
+	cat := ojViewCatalog(t, true)
+	nf2, err := Normalize(ojViewExpr(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(termKeys(nf2), " ")
+	if got != "lineitem,orders,part orders part" {
+		t.Fatalf("with FKs: terms = %q", got)
+	}
+	if len(nf2.Eliminated) != 1 || nf2.Eliminated[0].SourceKey() != "lineitem,orders" {
+		t.Errorf("eliminated = %v", nf2.Eliminated)
+	}
+}
+
+func TestExample1FKMaintenance(t *testing.T) {
+	// Introduction: inserting into part only affects the {part} term — the
+	// {P,O,L} term is pruned by Theorem 3 (lineitem has an FK to part), so
+	// the view is maintained by inserting null-extended part rows, and no
+	// orphan cleanup is needed (no indirect terms).
+	cat := ojViewCatalog(t, true)
+	nf, err := Normalize(ojViewExpr(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := nf.MaintenanceGraph("part", MaintOptions{ExploitFKs: true, FKs: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.String(); got != "{part}D" {
+		t.Errorf("part update graph = %q", got)
+	}
+	// Same for orders.
+	g2, err := nf.MaintenanceGraph("orders", MaintOptions{ExploitFKs: true, FKs: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.String(); got != "{orders}D" {
+		t.Errorf("orders update graph = %q", got)
+	}
+	// Inserting lineitems affects the full term directly and orphans both
+	// the orders and part terms indirectly.
+	g3, err := nf.MaintenanceGraph("lineitem", MaintOptions{ExploitFKs: true, FKs: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g3.String(); got != "{lineitem,orders,part}D {orders}I {part}I" {
+		t.Errorf("lineitem update graph = %q", got)
+	}
+}
+
+func TestNormalizeRejectsNonSPOJ(t *testing.T) {
+	bad := &Join{Kind: SemiJoin, Left: &TableRef{Name: "R"}, Right: &TableRef{Name: "S"}, Pred: Eq("R", "b", "S", "b")}
+	if _, err := Normalize(bad, nil); err == nil {
+		t.Error("semijoin must be rejected")
+	}
+	if _, err := Normalize(&Dedup{Input: &TableRef{Name: "R"}}, nil); err == nil {
+		t.Error("dedup must be rejected")
+	}
+}
+
+func TestNormalizeSelectionPruning(t *testing.T) {
+	// A null-rejecting selection on top of an outer join removes the terms
+	// that do not reference the selected table: σ[S.b>0](R fo S) has terms
+	// RS and S but not R.
+	e := &Select{
+		Input: &Join{Kind: FullOuterJoin, Left: &TableRef{Name: "R"}, Right: &TableRef{Name: "S"}, Pred: Eq("R", "b", "S", "b")},
+		Pred:  CmpConst("S", "b", OpGt, rel.Int(0)),
+	}
+	nf, err := Normalize(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(termKeys(nf), " "); got != "R,S S" {
+		t.Errorf("terms = %q", got)
+	}
+}
+
+func TestTermHelpers(t *testing.T) {
+	a := Term{Tables: []string{"A", "B"}}
+	b := Term{Tables: []string{"A", "B", "C"}}
+	if !a.SubsetOf(b) || b.SubsetOf(a) || !a.SubsetOf(a) {
+		t.Error("SubsetOf")
+	}
+	if !a.Has("A") || a.Has("C") {
+		t.Error("Has")
+	}
+	c := Term{Tables: []string{"A", "D"}}
+	if c.SubsetOf(b) {
+		t.Error("A,D is not a subset of A,B,C")
+	}
+}
+
+func TestWorstCaseTermCount(t *testing.T) {
+	// A chain of N full outer joins with binary predicates yields at most
+	// 2^N + N terms (paper Section 2.2). For a linear chain A-B-C-D the
+	// count is bounded accordingly.
+	mkCmp := func(a, b string) Pred { return Eq(a, "x", b, "x") }
+	e := &Join{Kind: FullOuterJoin,
+		Left: &Join{Kind: FullOuterJoin,
+			Left:  &Join{Kind: FullOuterJoin, Left: &TableRef{Name: "A"}, Right: &TableRef{Name: "B"}, Pred: mkCmp("A", "B")},
+			Right: &TableRef{Name: "C"}, Pred: mkCmp("B", "C")},
+		Right: &TableRef{Name: "D"}, Pred: mkCmp("C", "D")}
+	nf, err := Normalize(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nf.Terms) > 8+3 {
+		t.Errorf("N=3 full outer joins produced %d terms, bound is 11", len(nf.Terms))
+	}
+	// Terms must have unique source sets and parents must be strict supersets.
+	seen := map[string]bool{}
+	for i, term := range nf.Terms {
+		if seen[term.SourceKey()] {
+			t.Errorf("duplicate term %s", term.SourceKey())
+		}
+		seen[term.SourceKey()] = true
+		for _, p := range nf.Parents[i] {
+			if !term.SubsetOf(nf.Terms[p]) || len(nf.Terms[p].Tables) <= len(term.Tables) {
+				t.Errorf("parent %s of %s is not a strict superset", nf.Terms[p].SourceKey(), term.SourceKey())
+			}
+		}
+	}
+}

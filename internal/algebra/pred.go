@@ -1,0 +1,541 @@
+// Package algebra defines the logical relational algebra used by the view
+// maintenance engine: expression trees over base tables (selection,
+// projection, inner and outer joins, semi/anti joins, outer union, removal
+// of subsumed tuples, the paper's null-if operator), predicates with SQL
+// three-valued logic and null-rejection analysis, the join-disjunctive
+// normal form of SPOJ expressions (Galindo-Legaria), and the subsumption and
+// maintenance graphs of Sections 2-3 of the paper.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ojv/internal/rel"
+)
+
+// Tri is a three-valued logic truth value.
+type Tri int8
+
+// Truth values. The ordering False < Unknown < True makes And = min and
+// Or = max.
+const (
+	False Tri = iota
+	Unknown
+	True
+)
+
+// And returns the three-valued conjunction.
+func (t Tri) And(o Tri) Tri {
+	if o < t {
+		return o
+	}
+	return t
+}
+
+// Or returns the three-valued disjunction.
+func (t Tri) Or(o Tri) Tri {
+	if o > t {
+		return o
+	}
+	return t
+}
+
+// Not returns the three-valued negation.
+func (t Tri) Not() Tri {
+	switch t {
+	case False:
+		return True
+	case True:
+		return False
+	default:
+		return Unknown
+	}
+}
+
+// ColRef names a column as (table, column).
+type ColRef struct {
+	Table  string
+	Column string
+}
+
+// String returns "table.column".
+func (c ColRef) String() string { return c.Table + "." + c.Column }
+
+// Col is shorthand for constructing a ColRef.
+func Col(table, column string) ColRef { return ColRef{Table: table, Column: column} }
+
+// CmpOp is a comparison operator.
+type CmpOp int8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+func (op CmpOp) eval(cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// Operand is one side of a comparison: either a column reference or a
+// constant.
+type Operand struct {
+	Col     ColRef
+	Const   rel.Value
+	IsConst bool
+}
+
+// ColOperand returns a column operand.
+func ColOperand(table, column string) Operand { return Operand{Col: Col(table, column)} }
+
+// ConstOperand returns a constant operand.
+func ConstOperand(v rel.Value) Operand { return Operand{Const: v, IsConst: true} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.IsConst {
+		if o.Const.Kind() == rel.KindString {
+			return "'" + o.Const.String() + "'"
+		}
+		return o.Const.String()
+	}
+	return o.Col.String()
+}
+
+// Pred is a predicate over the rows of some schema, evaluated in SQL
+// three-valued logic. Selections and joins keep only rows where the
+// predicate is True.
+type Pred interface {
+	// Compile binds the predicate's columns to positions in sch and returns
+	// an evaluator. Compilation fails when a referenced column is absent.
+	Compile(sch rel.Schema) (func(rel.Row) Tri, error)
+	// Columns returns every column the predicate references.
+	Columns() []ColRef
+	// RejectsNullsOn reports (conservatively) whether the predicate cannot
+	// evaluate to True on a row that is null-extended on the given table.
+	// This is the paper's "strong"/null-rejecting property.
+	RejectsNullsOn(table string) bool
+	String() string
+}
+
+// TruePred is the predicate that is always true.
+type TruePred struct{}
+
+// Compile implements Pred.
+func (TruePred) Compile(rel.Schema) (func(rel.Row) Tri, error) {
+	return func(rel.Row) Tri { return True }, nil
+}
+
+// Columns implements Pred.
+func (TruePred) Columns() []ColRef { return nil }
+
+// RejectsNullsOn implements Pred.
+func (TruePred) RejectsNullsOn(string) bool { return false }
+
+func (TruePred) String() string { return "true" }
+
+// Cmp is a binary comparison between two operands.
+type Cmp struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+}
+
+// Eq returns the equijoin predicate t1.c1 = t2.c2.
+func Eq(t1, c1, t2, c2 string) Cmp {
+	return Cmp{Left: ColOperand(t1, c1), Op: OpEq, Right: ColOperand(t2, c2)}
+}
+
+// CmpConst returns the predicate t.c <op> v.
+func CmpConst(t, c string, op CmpOp, v rel.Value) Cmp {
+	return Cmp{Left: ColOperand(t, c), Op: op, Right: ConstOperand(v)}
+}
+
+// Compile implements Pred.
+func (p Cmp) Compile(sch rel.Schema) (func(rel.Row) Tri, error) {
+	get, err := compileOperand(p.Left, sch)
+	if err != nil {
+		return nil, err
+	}
+	get2, err := compileOperand(p.Right, sch)
+	if err != nil {
+		return nil, err
+	}
+	op := p.Op
+	return func(r rel.Row) Tri {
+		c, ok := rel.Compare(get(r), get2(r))
+		if !ok {
+			return Unknown
+		}
+		if op.eval(c) {
+			return True
+		}
+		return False
+	}, nil
+}
+
+func compileOperand(o Operand, sch rel.Schema) (func(rel.Row) rel.Value, error) {
+	if o.IsConst {
+		v := o.Const
+		return func(rel.Row) rel.Value { return v }, nil
+	}
+	i := sch.IndexOf(o.Col.Table, o.Col.Column)
+	if i < 0 {
+		return nil, fmt.Errorf("algebra: column %s not in schema %s", o.Col, sch)
+	}
+	return func(r rel.Row) rel.Value { return r[i] }, nil
+}
+
+// Columns implements Pred.
+func (p Cmp) Columns() []ColRef {
+	var out []ColRef
+	if !p.Left.IsConst {
+		out = append(out, p.Left.Col)
+	}
+	if !p.Right.IsConst {
+		out = append(out, p.Right.Col)
+	}
+	return out
+}
+
+// RejectsNullsOn implements Pred. A comparison is Unknown (hence not True)
+// whenever a referenced column is NULL, so it rejects nulls on every table
+// it references.
+func (p Cmp) RejectsNullsOn(table string) bool {
+	for _, c := range p.Columns() {
+		if c.Table == table {
+			return true
+		}
+	}
+	return false
+}
+
+func (p Cmp) String() string {
+	return p.Left.String() + p.Op.String() + p.Right.String()
+}
+
+// And is an n-ary conjunction.
+type And []Pred
+
+// MakeAnd flattens nested conjunctions and drops constant-true conjuncts; it
+// returns TruePred for an empty conjunction and the sole conjunct for a
+// singleton.
+func MakeAnd(preds ...Pred) Pred {
+	var flat []Pred
+	var add func(p Pred)
+	add = func(p Pred) {
+		switch q := p.(type) {
+		case nil:
+		case TruePred:
+		case And:
+			for _, c := range q {
+				add(c)
+			}
+		default:
+			flat = append(flat, p)
+		}
+	}
+	for _, p := range preds {
+		add(p)
+	}
+	switch len(flat) {
+	case 0:
+		return TruePred{}
+	case 1:
+		return flat[0]
+	default:
+		return And(flat)
+	}
+}
+
+// Compile implements Pred.
+func (p And) Compile(sch rel.Schema) (func(rel.Row) Tri, error) {
+	fns := make([]func(rel.Row) Tri, len(p))
+	for i, c := range p {
+		f, err := c.Compile(sch)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return func(r rel.Row) Tri {
+		out := True
+		for _, f := range fns {
+			out = out.And(f(r))
+			if out == False {
+				return False
+			}
+		}
+		return out
+	}, nil
+}
+
+// Columns implements Pred.
+func (p And) Columns() []ColRef {
+	var out []ColRef
+	for _, c := range p {
+		out = append(out, c.Columns()...)
+	}
+	return out
+}
+
+// RejectsNullsOn implements Pred: a conjunction rejects nulls on T if any
+// conjunct does.
+func (p And) RejectsNullsOn(table string) bool {
+	for _, c := range p {
+		if c.RejectsNullsOn(table) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p And) String() string { return joinPredStrings(p, " and ") }
+
+// Or is an n-ary disjunction.
+type Or []Pred
+
+// MakeOr flattens nested disjunctions; an empty disjunction is False, which
+// callers should avoid — it returns Not(TruePred).
+func MakeOr(preds ...Pred) Pred {
+	var flat []Pred
+	for _, p := range preds {
+		if q, ok := p.(Or); ok {
+			flat = append(flat, q...)
+		} else if p != nil {
+			flat = append(flat, p)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Not{TruePred{}}
+	case 1:
+		return flat[0]
+	default:
+		return Or(flat)
+	}
+}
+
+// Compile implements Pred.
+func (p Or) Compile(sch rel.Schema) (func(rel.Row) Tri, error) {
+	fns := make([]func(rel.Row) Tri, len(p))
+	for i, c := range p {
+		f, err := c.Compile(sch)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return func(r rel.Row) Tri {
+		out := False
+		for _, f := range fns {
+			out = out.Or(f(r))
+			if out == True {
+				return True
+			}
+		}
+		return out
+	}, nil
+}
+
+// Columns implements Pred.
+func (p Or) Columns() []ColRef {
+	var out []ColRef
+	for _, c := range p {
+		out = append(out, c.Columns()...)
+	}
+	return out
+}
+
+// RejectsNullsOn implements Pred: a disjunction rejects nulls on T only if
+// every disjunct does.
+func (p Or) RejectsNullsOn(table string) bool {
+	for _, c := range p {
+		if !c.RejectsNullsOn(table) {
+			return false
+		}
+	}
+	return len(p) > 0
+}
+
+func (p Or) String() string { return joinPredStrings(p, " or ") }
+
+// Not is three-valued negation.
+type Not struct{ P Pred }
+
+// Compile implements Pred.
+func (p Not) Compile(sch rel.Schema) (func(rel.Row) Tri, error) {
+	f, err := p.P.Compile(sch)
+	if err != nil {
+		return nil, err
+	}
+	return func(r rel.Row) Tri { return f(r).Not() }, nil
+}
+
+// Columns implements Pred.
+func (p Not) Columns() []ColRef { return p.P.Columns() }
+
+// RejectsNullsOn implements Pred. NOT(x IS NULL) rejects nulls on x's
+// table; otherwise be conservative.
+func (p Not) RejectsNullsOn(table string) bool {
+	if in, ok := p.P.(IsNull); ok {
+		return in.Col.Table == table
+	}
+	return false
+}
+
+func (p Not) String() string { return "not(" + p.P.String() + ")" }
+
+// IsNull tests a single column for NULL. It is not null-rejecting; the
+// engine uses it to implement the paper's null(T) predicate against a key
+// column of T.
+type IsNull struct{ Col ColRef }
+
+// Compile implements Pred.
+func (p IsNull) Compile(sch rel.Schema) (func(rel.Row) Tri, error) {
+	i := sch.IndexOf(p.Col.Table, p.Col.Column)
+	if i < 0 {
+		return nil, fmt.Errorf("algebra: column %s not in schema %s", p.Col, sch)
+	}
+	return func(r rel.Row) Tri {
+		if r[i].IsNull() {
+			return True
+		}
+		return False
+	}, nil
+}
+
+// Columns implements Pred.
+func (p IsNull) Columns() []ColRef { return []ColRef{p.Col} }
+
+// RejectsNullsOn implements Pred.
+func (p IsNull) RejectsNullsOn(string) bool { return false }
+
+func (p IsNull) String() string { return p.Col.String() + " is null" }
+
+func joinPredStrings[T Pred](ps []T, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Conjuncts returns the flattened conjunct list of a predicate: And flattens
+// recursively, TruePred yields nothing, anything else is a single conjunct.
+func Conjuncts(p Pred) []Pred {
+	switch q := p.(type) {
+	case nil, TruePred:
+		return nil
+	case And:
+		var out []Pred
+		for _, c := range q {
+			out = append(out, Conjuncts(c)...)
+		}
+		return out
+	default:
+		return []Pred{p}
+	}
+}
+
+// PredTables returns the sorted distinct table names referenced by p.
+func PredTables(p Pred) []string {
+	seen := make(map[string]bool, 4)
+	var out []string
+	for _, c := range p.Columns() {
+		if !seen[c.Table] {
+			seen[c.Table] = true
+			out = append(out, c.Table)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanonicalConjunct returns a canonical string for one conjunct so that
+// structurally equal predicates compare equal regardless of operand order
+// for symmetric operators. It is used to match foreign-key join predicates.
+func CanonicalConjunct(p Pred) string {
+	if c, ok := p.(Cmp); ok && (c.Op == OpEq || c.Op == OpNe) {
+		l, r := c.Left.String(), c.Right.String()
+		if r < l {
+			l, r = r, l
+		}
+		return l + c.Op.String() + r
+	}
+	return p.String()
+}
+
+// ConjunctSet returns the set of canonical conjunct strings of p.
+func ConjunctSet(p Pred) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range Conjuncts(p) {
+		out[CanonicalConjunct(c)] = true
+	}
+	return out
+}
+
+// EquiPairs extracts the column=column equality conjuncts of p whose two
+// sides lie in the given left/right table sets. It returns the pairs
+// (leftCol, rightCol) and the remaining (residual) conjuncts. Join
+// implementations use the pairs for hashing/index probes and apply the
+// residual afterwards.
+func EquiPairs(p Pred, leftTables, rightTables map[string]bool) (pairs [][2]ColRef, residual []Pred) {
+	for _, c := range Conjuncts(p) {
+		cmp, ok := c.(Cmp)
+		if ok && cmp.Op == OpEq && !cmp.Left.IsConst && !cmp.Right.IsConst {
+			l, r := cmp.Left.Col, cmp.Right.Col
+			switch {
+			case leftTables[l.Table] && rightTables[r.Table]:
+				pairs = append(pairs, [2]ColRef{l, r})
+				continue
+			case leftTables[r.Table] && rightTables[l.Table]:
+				pairs = append(pairs, [2]ColRef{r, l})
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	return pairs, residual
+}

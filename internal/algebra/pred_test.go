@@ -1,0 +1,244 @@
+package algebra
+
+import (
+	"testing"
+
+	"ojv/internal/rel"
+)
+
+var testSchema = rel.Schema{
+	{Table: "t", Name: "a", Kind: rel.KindInt},
+	{Table: "t", Name: "b", Kind: rel.KindInt},
+	{Table: "u", Name: "c", Kind: rel.KindInt},
+}
+
+func evalPred(t *testing.T, p Pred, row rel.Row) Tri {
+	t.Helper()
+	f, err := p.Compile(testSchema)
+	if err != nil {
+		t.Fatalf("compile %s: %v", p, err)
+	}
+	return f(row)
+}
+
+func TestTriLogic(t *testing.T) {
+	vals := []Tri{False, Unknown, True}
+	andTable := [3][3]Tri{
+		{False, False, False},
+		{False, Unknown, Unknown},
+		{False, Unknown, True},
+	}
+	orTable := [3][3]Tri{
+		{False, Unknown, True},
+		{Unknown, Unknown, True},
+		{True, True, True},
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			if got := a.And(b); got != andTable[i][j] {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, andTable[i][j])
+			}
+			if got := a.Or(b); got != orTable[i][j] {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, orTable[i][j])
+			}
+		}
+	}
+	if False.Not() != True || True.Not() != False || Unknown.Not() != Unknown {
+		t.Error("Not is wrong")
+	}
+}
+
+func TestCmpEval(t *testing.T) {
+	p := Eq("t", "a", "u", "c")
+	if got := evalPred(t, p, rel.Row{rel.Int(1), rel.Int(2), rel.Int(1)}); got != True {
+		t.Errorf("1=1 → %v", got)
+	}
+	if got := evalPred(t, p, rel.Row{rel.Int(1), rel.Int(2), rel.Int(3)}); got != False {
+		t.Errorf("1=3 → %v", got)
+	}
+	if got := evalPred(t, p, rel.Row{rel.Null, rel.Int(2), rel.Int(3)}); got != Unknown {
+		t.Errorf("NULL=3 → %v", got)
+	}
+	lt := CmpConst("t", "b", OpLt, rel.Int(5))
+	if got := evalPred(t, lt, rel.Row{rel.Int(0), rel.Int(3), rel.Int(0)}); got != True {
+		t.Errorf("3<5 → %v", got)
+	}
+	if got := evalPred(t, lt, rel.Row{rel.Int(0), rel.Null, rel.Int(0)}); got != Unknown {
+		t.Errorf("NULL<5 → %v", got)
+	}
+	for _, tc := range []struct {
+		op   CmpOp
+		a, b int64
+		want Tri
+	}{
+		{OpNe, 1, 2, True}, {OpNe, 2, 2, False},
+		{OpLe, 2, 2, True}, {OpLe, 3, 2, False},
+		{OpGt, 3, 2, True}, {OpGt, 2, 2, False},
+		{OpGe, 2, 2, True}, {OpGe, 1, 2, False},
+	} {
+		p := Cmp{Left: ColOperand("t", "a"), Op: tc.op, Right: ConstOperand(rel.Int(tc.b))}
+		if got := evalPred(t, p, rel.Row{rel.Int(tc.a), rel.Null, rel.Null}); got != tc.want {
+			t.Errorf("%d %s %d = %v, want %v", tc.a, tc.op, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Eq("nosuch", "x", "t", "a").Compile(testSchema); err == nil {
+		t.Error("missing column must fail compilation")
+	}
+	if _, err := (IsNull{Col: Col("nosuch", "x")}).Compile(testSchema); err == nil {
+		t.Error("missing column in IsNull must fail compilation")
+	}
+	if _, err := (And{Eq("nosuch", "x", "t", "a")}).Compile(testSchema); err == nil {
+		t.Error("And must propagate compile errors")
+	}
+	if _, err := (Or{Eq("nosuch", "x", "t", "a")}).Compile(testSchema); err == nil {
+		t.Error("Or must propagate compile errors")
+	}
+	if _, err := (Not{Eq("nosuch", "x", "t", "a")}).Compile(testSchema); err == nil {
+		t.Error("Not must propagate compile errors")
+	}
+}
+
+func TestAndOrNotEval(t *testing.T) {
+	a := CmpConst("t", "a", OpEq, rel.Int(1))
+	b := CmpConst("t", "b", OpEq, rel.Int(2))
+	and := MakeAnd(a, b)
+	or := MakeOr(a, b)
+	row := func(av, bv rel.Value) rel.Row { return rel.Row{av, bv, rel.Null} }
+
+	if evalPred(t, and, row(rel.Int(1), rel.Int(2))) != True {
+		t.Error("and true")
+	}
+	if evalPred(t, and, row(rel.Int(1), rel.Int(3))) != False {
+		t.Error("and false")
+	}
+	if evalPred(t, and, row(rel.Int(1), rel.Null)) != Unknown {
+		t.Error("and unknown")
+	}
+	if evalPred(t, and, row(rel.Int(0), rel.Null)) != False {
+		t.Error("false AND unknown = false")
+	}
+	if evalPred(t, or, row(rel.Int(1), rel.Null)) != True {
+		t.Error("true OR unknown = true")
+	}
+	if evalPred(t, or, row(rel.Int(0), rel.Null)) != Unknown {
+		t.Error("false OR unknown = unknown")
+	}
+	if evalPred(t, Not{a}, row(rel.Null, rel.Null)) != Unknown {
+		t.Error("NOT unknown = unknown")
+	}
+	isn := IsNull{Col: Col("t", "a")}
+	if evalPred(t, isn, row(rel.Null, rel.Null)) != True || evalPred(t, isn, row(rel.Int(1), rel.Null)) != False {
+		t.Error("IsNull eval")
+	}
+	if evalPred(t, TruePred{}, row(rel.Null, rel.Null)) != True {
+		t.Error("TruePred")
+	}
+}
+
+func TestRejectsNullsOn(t *testing.T) {
+	eq := Eq("t", "a", "u", "c")
+	if !eq.RejectsNullsOn("t") || !eq.RejectsNullsOn("u") || eq.RejectsNullsOn("v") {
+		t.Error("Cmp null rejection")
+	}
+	if (TruePred{}).RejectsNullsOn("t") {
+		t.Error("TruePred rejects nothing")
+	}
+	isn := IsNull{Col: Col("t", "a")}
+	if isn.RejectsNullsOn("t") {
+		t.Error("IsNull is not null-rejecting")
+	}
+	if !(Not{isn}).RejectsNullsOn("t") || (Not{isn}).RejectsNullsOn("u") {
+		t.Error("NOT(x IS NULL) rejects nulls on x's table only")
+	}
+	if !(Not{eq}).RejectsNullsOn("t") == false {
+		t.Error("NOT(cmp) must be conservative")
+	}
+	and := MakeAnd(eq, CmpConst("v", "x", OpLt, rel.Int(1)))
+	if !and.RejectsNullsOn("t") || !and.RejectsNullsOn("v") {
+		t.Error("And rejects on union")
+	}
+	or := MakeOr(Eq("t", "a", "u", "c"), CmpConst("t", "b", OpLt, rel.Int(1)))
+	if !or.RejectsNullsOn("t") {
+		t.Error("Or rejects when all branches reject")
+	}
+	or2 := MakeOr(Eq("t", "a", "u", "c"), CmpConst("v", "x", OpLt, rel.Int(1)))
+	if or2.RejectsNullsOn("t") {
+		t.Error("Or must not reject when one branch doesn't")
+	}
+}
+
+func TestMakeAndFlattening(t *testing.T) {
+	a := CmpConst("t", "a", OpEq, rel.Int(1))
+	b := CmpConst("t", "b", OpEq, rel.Int(2))
+	if _, ok := MakeAnd().(TruePred); !ok {
+		t.Error("empty MakeAnd should be TruePred")
+	}
+	if p := MakeAnd(a); p.String() != a.String() {
+		t.Error("singleton MakeAnd should unwrap")
+	}
+	nested := MakeAnd(MakeAnd(a, b), TruePred{}, nil, a)
+	if len(Conjuncts(nested)) != 3 {
+		t.Errorf("flattened conjuncts = %d, want 3", len(Conjuncts(nested)))
+	}
+	if len(Conjuncts(TruePred{})) != 0 {
+		t.Error("TruePred has no conjuncts")
+	}
+}
+
+func TestCanonicalConjunct(t *testing.T) {
+	if CanonicalConjunct(Eq("a", "x", "b", "y")) != CanonicalConjunct(Eq("b", "y", "a", "x")) {
+		t.Error("symmetric Eq should canonicalize identically")
+	}
+	lt := Cmp{Left: ColOperand("a", "x"), Op: OpLt, Right: ColOperand("b", "y")}
+	gt := Cmp{Left: ColOperand("b", "y"), Op: OpLt, Right: ColOperand("a", "x")}
+	if CanonicalConjunct(lt) == CanonicalConjunct(gt) {
+		t.Error("asymmetric comparisons must not canonicalize together")
+	}
+	s1 := ConjunctSet(MakeAnd(Eq("a", "x", "b", "y"), CmpConst("a", "z", OpLt, rel.Int(5))))
+	s2 := ConjunctSet(MakeAnd(CmpConst("a", "z", OpLt, rel.Int(5)), Eq("b", "y", "a", "x")))
+	if !setsEqual(s1, s2) {
+		t.Error("ConjunctSet should be order- and orientation-insensitive")
+	}
+}
+
+func TestEquiPairs(t *testing.T) {
+	left := map[string]bool{"t": true}
+	right := map[string]bool{"u": true}
+	p := MakeAnd(
+		Eq("t", "a", "u", "c"),
+		Eq("u", "c", "t", "b"), // reversed orientation
+		CmpConst("t", "a", OpLt, rel.Int(9)),
+	)
+	pairs, residual := EquiPairs(p, left, right)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0][0].Table != "t" || pairs[0][1].Table != "u" {
+		t.Errorf("pair 0 orientation: %v", pairs[0])
+	}
+	if pairs[1][0].Table != "t" || pairs[1][1].Table != "u" {
+		t.Errorf("pair 1 orientation: %v", pairs[1])
+	}
+	if len(residual) != 1 {
+		t.Errorf("residual = %v", residual)
+	}
+	// A non-equi conjunct across sides stays residual.
+	pairs, residual = EquiPairs(Cmp{Left: ColOperand("t", "a"), Op: OpLt, Right: ColOperand("u", "c")}, left, right)
+	if len(pairs) != 0 || len(residual) != 1 {
+		t.Errorf("lt: pairs=%v residual=%v", pairs, residual)
+	}
+}
+
+func TestPredTables(t *testing.T) {
+	p := MakeAnd(Eq("b", "x", "a", "y"), CmpConst("c", "z", OpLt, rel.Int(1)))
+	tabs := PredTables(p)
+	if len(tabs) != 3 || tabs[0] != "a" || tabs[1] != "b" || tabs[2] != "c" {
+		t.Errorf("PredTables = %v", tabs)
+	}
+	if PredTables(TruePred{}) != nil {
+		t.Error("TruePred references no tables")
+	}
+}

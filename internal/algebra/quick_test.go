@@ -1,0 +1,146 @@
+package algebra
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ojv/internal/rel"
+)
+
+// Three-valued-logic laws checked with testing/quick: De Morgan, double
+// negation, and absorption of the constant-true predicate — the identities
+// the delta-propagation derivations take for granted.
+
+// randPredRow draws a row for the two-column test schema with NULLs.
+func randPredRow(r *rand.Rand) rel.Row {
+	v := func() rel.Value {
+		if r.Intn(3) == 0 {
+			return rel.Null
+		}
+		return rel.Int(int64(r.Intn(3)))
+	}
+	return rel.Row{v(), v(), v()}
+}
+
+// randAtom draws a random atomic predicate over the test schema.
+func randAtom(r *rand.Rand) Pred {
+	switch r.Intn(4) {
+	case 0:
+		return Eq("t", "a", "t", "b")
+	case 1:
+		return CmpConst("t", "a", CmpOp(r.Intn(6)), rel.Int(int64(r.Intn(3))))
+	case 2:
+		return IsNull{Col: Col("u", "c")}
+	default:
+		return Cmp{Left: ColOperand("t", "b"), Op: OpLe, Right: ColOperand("u", "c")}
+	}
+}
+
+func quickCfg(gen func(vals []reflect.Value, r *rand.Rand)) *quick.Config {
+	return &quick.Config{MaxCount: 2000, Values: gen}
+}
+
+type predPair struct {
+	p, q Pred
+	row  rel.Row
+}
+
+func genPredPair(vals []reflect.Value, r *rand.Rand) {
+	vals[0] = reflect.ValueOf(predPair{p: randAtom(r), q: randAtom(r), row: randPredRow(r)})
+}
+
+func evalOn(t *testing.T, p Pred, row rel.Row) Tri {
+	t.Helper()
+	f, err := p.Compile(testSchema)
+	if err != nil {
+		t.Fatalf("compile %s: %v", p, err)
+	}
+	return f(row)
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	prop := func(pp predPair) bool {
+		notAnd := evalOn(t, Not{MakeAnd(pp.p, pp.q)}, pp.row)
+		orNots := evalOn(t, MakeOr(Not{pp.p}, Not{pp.q}), pp.row)
+		notOr := evalOn(t, Not{MakeOr(pp.p, pp.q)}, pp.row)
+		andNots := evalOn(t, MakeAnd(Not{pp.p}, Not{pp.q}), pp.row)
+		return notAnd == orNots && notOr == andNots
+	}
+	if err := quick.Check(prop, quickCfg(genPredPair)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDoubleNegationAndTrueAbsorption(t *testing.T) {
+	prop := func(pp predPair) bool {
+		direct := evalOn(t, pp.p, pp.row)
+		doubled := evalOn(t, Not{Not{pp.p}}, pp.row)
+		withTrue := evalOn(t, MakeAnd(pp.p, TruePred{}), pp.row)
+		return direct == doubled && direct == withTrue
+	}
+	if err := quick.Check(prop, quickCfg(genPredPair)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAndOrSymmetry(t *testing.T) {
+	prop := func(pp predPair) bool {
+		pq := evalOn(t, MakeAnd(pp.p, pp.q), pp.row)
+		qp := evalOn(t, MakeAnd(pp.q, pp.p), pp.row)
+		opq := evalOn(t, MakeOr(pp.p, pp.q), pp.row)
+		oqp := evalOn(t, MakeOr(pp.q, pp.p), pp.row)
+		return pq == qp && opq == oqp
+	}
+	if err := quick.Check(prop, quickCfg(genPredPair)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNullRejectionSound checks the RejectsNullsOn analysis against
+// evaluation: if a predicate claims to reject nulls on table t, it must
+// never evaluate to True on a row null-extended on t.
+func TestQuickNullRejectionSound(t *testing.T) {
+	gen := func(vals []reflect.Value, r *rand.Rand) {
+		// Random conjunctions/disjunctions of atoms, two levels deep.
+		build := func() Pred {
+			n := 1 + r.Intn(3)
+			var atoms []Pred
+			for i := 0; i < n; i++ {
+				a := randAtom(r)
+				if r.Intn(4) == 0 {
+					a = Not{a}
+				}
+				atoms = append(atoms, a)
+			}
+			if r.Intn(2) == 0 {
+				return MakeAnd(atoms...)
+			}
+			return MakeOr(atoms...)
+		}
+		row := randPredRow(r)
+		vals[0] = reflect.ValueOf(predPair{p: build(), row: row})
+	}
+	prop := func(pp predPair) bool {
+		for tiIdx, table := range []string{"t", "u"} {
+			if !pp.p.RejectsNullsOn(table) {
+				continue
+			}
+			// Null-extend the row on the table and evaluate.
+			row := pp.row.Clone()
+			if tiIdx == 0 {
+				row[0], row[1] = rel.Null, rel.Null
+			} else {
+				row[2] = rel.Null
+			}
+			if evalOn(t, pp.p, row) == True {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(gen)); err != nil {
+		t.Error(err)
+	}
+}

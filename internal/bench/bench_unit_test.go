@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ojv/internal/view"
+)
+
+const testSF = 0.002
+
+func TestTable1Harness(t *testing.T) {
+	rows, err := Table1(testSF, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	labels := []string{"COLP", "COL", "C", "P"}
+	for i, r := range rows {
+		if r.Term != labels[i] {
+			t.Errorf("row %d term = %s", i, r.Term)
+		}
+	}
+	// Shape invariants from the paper's Table 1: COLP dominates both the
+	// view and the delta.
+	if rows[0].Cardinality <= rows[1].Cardinality || rows[0].Cardinality <= rows[2].Cardinality {
+		t.Errorf("COLP should dominate: %+v", rows)
+	}
+	if rows[0].Affected == 0 {
+		t.Error("COLP affected should be non-zero for a held-out insert batch")
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Affected
+	}
+	if total == 0 {
+		t.Error("insertion affected no rows at all")
+	}
+	if len(Table1Paper) != 4 || Table1Paper[0].Cardinality != 5208168 {
+		t.Error("paper reference numbers")
+	}
+}
+
+func TestScaleN(t *testing.T) {
+	if ScaleN(60000, 0.01) != 600 || ScaleN(60, 0.001) != 1 || ScaleN(10, 1) != 10 {
+		t.Error("ScaleN")
+	}
+}
+
+func TestSetupRoundTrip(t *testing.T) {
+	for _, method := range []Method{MethodCore, MethodOJV, MethodOJVBase, MethodGK} {
+		// Use the largest paper batch so the ~9% date window reliably
+		// catches some inserted rows.
+		n := ScaleN(60000, testSF)
+		s, err := NewSetup(testSF, 1, method, n)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		ins, err := s.RunInsert(n)
+		if err != nil {
+			t.Fatalf("%s insert: %v", method, err)
+		}
+		// GK reports the net row-count change, which can legitimately be
+		// zero (each joined row can displace one orphan); our methods report
+		// the primary delta size.
+		if method != MethodGK && ins.PrimaryRows == 0 {
+			t.Errorf("%s: insert produced no view changes", method)
+		}
+		del, err := s.RunDelete(n)
+		if err != nil {
+			t.Fatalf("%s delete: %v", method, err)
+		}
+		if del.Elapsed < 0 {
+			t.Errorf("%s: negative elapsed", method)
+		}
+	}
+}
+
+func TestInsertDeleteCycleRestoresState(t *testing.T) {
+	n := ScaleN(6000, testSF)
+	s, err := NewSetup(testSF, 1, MethodOJV, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := s.TakeHeldOut()
+	if len(batch) != n {
+		t.Fatalf("held out %d rows, want %d", len(batch), n)
+	}
+	target := s.Target.(ourView)
+	before := target.m.Materialized().Len()
+	for cycle := 0; cycle < 3; cycle++ {
+		if _, err := s.InsertBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.DeleteBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if got := target.m.Materialized().Len(); got != before {
+			t.Fatalf("cycle %d: view has %d rows, want %d", cycle, got, before)
+		}
+	}
+	if err := view.Check(target.m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig5Harness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the GK baseline")
+	}
+	var out strings.Builder
+	// Only the cheap methods here; GK is exercised by TestSetupRoundTrip.
+	results, err := RunFig5(testSF, 1, true, []Method{MethodCore, MethodOJV}, 1, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(PaperNs)*2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Elapsed <= 0 || r.Elapsed > time.Minute {
+			t.Errorf("suspicious elapsed %v for %+v", r.Elapsed, r)
+		}
+	}
+	if !strings.Contains(out.String(), "core-view") {
+		t.Error("progress output missing")
+	}
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ScalingResult is one point of the scaling extension experiment.
+type ScalingResult struct {
+	Method  Method
+	SF      float64
+	N       int
+	Elapsed time.Duration
+}
+
+// RunScaling measures maintenance cost for a FIXED insert batch while the
+// database grows — an extension beyond the paper's figures that isolates
+// its central asymptotic claim: the paper's algorithm touches work
+// proportional to the delta (index probes plus orphan point-lookups), so
+// its cost should stay flat as the base tables grow, while Griffin–Kumar
+// change propagation joins whole base-table subexpressions and should grow
+// linearly.
+func RunScaling(sfs []float64, batch int, methods []Method, reps int, out io.Writer) ([]ScalingResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var results []ScalingResult
+	for _, sf := range sfs {
+		for _, method := range methods {
+			var times []time.Duration
+			for rep := 0; rep < reps; rep++ {
+				s, err := NewSetup(sf, 1, method, batch)
+				if err != nil {
+					return nil, err
+				}
+				r, err := s.RunInsert(batch)
+				if err != nil {
+					return nil, fmt.Errorf("%s sf=%g: %w", method, sf, err)
+				}
+				times = append(times, r.Elapsed)
+			}
+			res := ScalingResult{Method: method, SF: sf, N: batch, Elapsed: median(times)}
+			results = append(results, res)
+			if out != nil {
+				fmt.Fprintf(out, "  %-16s sf=%-6g elapsed=%s\n", method, sf, res.Elapsed.Round(10*time.Microsecond))
+			}
+		}
+	}
+	return results, nil
+}

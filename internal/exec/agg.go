@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"fmt"
+
+	"ojv/internal/algebra"
+	"ojv/internal/rel"
+)
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	count   int64     // rows (COUNT(*)) or non-null inputs (others)
+	sum     rel.Value // running sum; NULL until the first non-null input
+	nonNull int64
+}
+
+// evalGroupBy evaluates γ with SQL aggregate semantics: COUNT(*) counts
+// rows, COUNT(c) counts non-null values, SUM/AVG over zero non-null inputs
+// are NULL.
+func evalGroupBy(ctx *Context, n *algebra.GroupBy) (Relation, error) {
+	in, err := Eval(ctx, n.Input)
+	if err != nil {
+		return Relation{}, err
+	}
+	outSchema, err := algebra.SchemaOf(n, ctx)
+	if err != nil {
+		return Relation{}, err
+	}
+	groupCols := make([]int, len(n.GroupCols))
+	for i, c := range n.GroupCols {
+		p := in.Schema.IndexOf(c.Table, c.Column)
+		if p < 0 {
+			return Relation{}, fmt.Errorf("exec: group column %s not in %s", c, in.Schema)
+		}
+		groupCols[i] = p
+	}
+	aggCols := make([]int, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Func == algebra.AggCount && a.Col == (algebra.ColRef{}) {
+			aggCols[i] = -1 // COUNT(*)
+			continue
+		}
+		p := in.Schema.IndexOf(a.Col.Table, a.Col.Column)
+		if p < 0 {
+			return Relation{}, fmt.Errorf("exec: aggregate column %s not in %s", a.Col, in.Schema)
+		}
+		aggCols[i] = p
+	}
+
+	type group struct {
+		key  rel.Row
+		aggs []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, r := range in.Rows {
+		k := rel.EncodeRowCols(r, groupCols)
+		g := groups[k]
+		if g == nil {
+			g = &group{key: r.Project(groupCols), aggs: make([]aggState, len(n.Aggs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i := range n.Aggs {
+			st := &g.aggs[i]
+			if aggCols[i] < 0 {
+				st.count++
+				continue
+			}
+			v := r[aggCols[i]]
+			st.count++
+			if v.IsNull() {
+				continue
+			}
+			st.nonNull++
+			if st.sum.IsNull() {
+				st.sum = v
+			} else {
+				st.sum = rel.Add(st.sum, v)
+			}
+		}
+	}
+	out := Relation{Schema: outSchema, Rows: make([]rel.Row, 0, len(groups))}
+	for _, k := range order {
+		g := groups[k]
+		row := make(rel.Row, 0, len(outSchema))
+		row = append(row, g.key...)
+		for i, a := range n.Aggs {
+			st := g.aggs[i]
+			switch a.Func {
+			case algebra.AggCount:
+				if aggCols[i] < 0 {
+					row = append(row, rel.Int(st.count))
+				} else {
+					row = append(row, rel.Int(st.nonNull))
+				}
+			case algebra.AggSum:
+				row = append(row, st.sum)
+			case algebra.AggAvg:
+				if st.nonNull == 0 {
+					row = append(row, rel.Null)
+				} else {
+					row = append(row, rel.Float(st.sum.AsFloat()/float64(st.nonNull)))
+				}
+			default:
+				return Relation{}, fmt.Errorf("exec: unsupported aggregate %v", a.Func)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,398 @@
+package exec
+
+import (
+	"fmt"
+
+	"ojv/internal/algebra"
+	"ojv/internal/rel"
+)
+
+// evalJoin evaluates a join node, picking index-nested-loop, hash, or
+// nested-loop execution.
+func evalJoin(ctx *Context, n *algebra.Join) (Relation, error) {
+	left, err := Eval(ctx, n.Left)
+	if err != nil {
+		return Relation{}, err
+	}
+	rightSchema, err := algebra.SchemaOf(n.Right, ctx)
+	if err != nil {
+		return Relation{}, err
+	}
+	concat := left.Schema.Concat(rightSchema)
+	pred, err := n.Pred.Compile(concat)
+	if err != nil {
+		return Relation{}, err
+	}
+	pairs, _ := algebra.EquiPairs(n.Pred, algebra.TableSet(n.Left), algebra.TableSet(n.Right))
+
+	// Index nested loop: only for kinds that never emit unmatched right
+	// rows, when the right operand is a (selected) base table with a hash
+	// index (or the unique key) on exactly the equijoin columns.
+	if n.Kind != algebra.RightOuterJoin && n.Kind != algebra.FullOuterJoin && len(pairs) > 0 {
+		if probe, ok, err := makeIndexProbe(ctx, n.Right, left.Schema, pairs); err != nil {
+			return Relation{}, err
+		} else if ok {
+			return joinWithProbe(n.Kind, left, rightSchema, concat, pred, probe)
+		}
+	}
+
+	right, err := Eval(ctx, n.Right)
+	if err != nil {
+		return Relation{}, err
+	}
+	if len(pairs) > 0 {
+		return hashJoin(n.Kind, left, right, concat, pred, pairs)
+	}
+	return nestedLoopJoin(n.Kind, left, right, concat, pred)
+}
+
+// probeFunc returns the candidate right rows for one left row; the bool is
+// false when an equijoin column of the left row is NULL (no match possible).
+type probeFunc func(l rel.Row) ([]rel.Row, bool)
+
+// makeIndexProbe builds an index probe when the right operand is a base
+// table (optionally under a selection) with an index covering the equijoin
+// columns.
+func makeIndexProbe(ctx *Context, right algebra.Expr, leftSchema rel.Schema, pairs [][2]algebra.ColRef) (probeFunc, bool, error) {
+	var tname string
+	var old bool
+	var sel algebra.Pred
+	unwrap := func(e algebra.Expr) bool {
+		switch r := e.(type) {
+		case *algebra.TableRef:
+			tname = r.Name
+			return true
+		case *algebra.OldTableRef:
+			tname = r.Name
+			old = true
+			return true
+		}
+		return false
+	}
+	if !unwrap(right) {
+		if s, ok := right.(*algebra.Select); ok && unwrap(s.Input) {
+			sel = s.Pred
+		} else {
+			return nil, false, nil
+		}
+	}
+	t := ctx.Catalog.Table(tname)
+	if t == nil {
+		return nil, false, fmt.Errorf("exec: unknown table %s", tname)
+	}
+	rightOffsets := make([]int, len(pairs))
+	for i, p := range pairs {
+		o := t.Schema().IndexOf(p[1].Table, p[1].Column)
+		if o < 0 {
+			return nil, false, nil
+		}
+		rightOffsets[i] = o
+	}
+	// leftFor returns the left-schema position feeding a given right offset.
+	leftFor := func(rightOffset int) int {
+		for i, p := range pairs {
+			if rightOffsets[i] == rightOffset {
+				return leftSchema.MustIndexOf(p[0].Table, p[0].Column)
+			}
+		}
+		return -1
+	}
+	var selFn func(rel.Row) algebra.Tri
+	if sel != nil {
+		f, err := sel.Compile(t.Schema())
+		if err != nil {
+			return nil, false, err
+		}
+		selFn = f
+	}
+
+	// Old-state adjustment: when probing the pre-update state of a table
+	// with a bound delta, exclude freshly inserted rows (insert case) or
+	// re-admit deleted rows via a transient delta index (delete case).
+	delta := ctx.Deltas[tname]
+	var excludeKeys map[string]bool
+	var deltaByProbe map[string][]rel.Row
+	buildDeltaIndex := func(cols []int) {
+		deltaByProbe = make(map[string][]rel.Row, len(delta))
+		for _, d := range delta {
+			k := rel.EncodeRowCols(d, cols)
+			deltaByProbe[k] = append(deltaByProbe[k], d)
+		}
+	}
+	if old && len(delta) > 0 {
+		if ctx.DeltaIsInsert {
+			excludeKeys = make(map[string]bool, len(delta))
+			for _, d := range delta {
+				excludeKeys[t.KeyOf(d)] = true
+			}
+		} else {
+			buildDeltaIndex(rightOffsets)
+		}
+	}
+	adjust := func(rows []rel.Row, probeKey string) []rel.Row {
+		if excludeKeys == nil && deltaByProbe == nil && selFn == nil {
+			return rows
+		}
+		out := make([]rel.Row, 0, len(rows)+1)
+		for _, r := range rows {
+			if excludeKeys != nil && excludeKeys[t.KeyOf(r)] {
+				continue
+			}
+			out = append(out, r)
+		}
+		if deltaByProbe != nil {
+			out = append(out, deltaByProbe[probeKey]...)
+		}
+		if selFn != nil {
+			kept := out[:0]
+			for _, r := range out {
+				if selFn(r) == algebra.True {
+					kept = append(kept, r)
+				}
+			}
+			out = kept
+		}
+		return out
+	}
+
+	// Prefer the unique key, then any secondary index on the same column set.
+	if sameColumnSet(t.KeyCols(), rightOffsets) {
+		probeCols := make([]int, len(t.KeyCols()))
+		for i, kc := range t.KeyCols() {
+			probeCols[i] = leftFor(kc)
+		}
+		if deltaByProbe != nil {
+			buildDeltaIndex(t.KeyCols()) // re-key the delta in key-column order
+		}
+		return func(l rel.Row) ([]rel.Row, bool) {
+			for _, c := range probeCols {
+				if l[c].IsNull() {
+					return nil, false
+				}
+			}
+			k := rel.EncodeRowCols(l, probeCols)
+			row, ok := t.GetEncoded(k)
+			if !ok {
+				return adjust(nil, k), true
+			}
+			return adjust([]rel.Row{row}, k), true
+		}, true, nil
+	}
+	if ix := t.IndexOnSet(rightOffsets); ix != nil {
+		probeCols := make([]int, len(ix.Cols()))
+		for i, ic := range ix.Cols() {
+			probeCols[i] = leftFor(ic)
+		}
+		if deltaByProbe != nil {
+			buildDeltaIndex(ix.Cols()) // re-key the delta in index-column order
+		}
+		return func(l rel.Row) ([]rel.Row, bool) {
+			for _, c := range probeCols {
+				if l[c].IsNull() {
+					return nil, false
+				}
+			}
+			k := rel.EncodeRowCols(l, probeCols)
+			return adjust(ix.Lookup(k), k), true
+		}, true, nil
+	}
+	return nil, false, nil
+}
+
+// JoinRelations joins two already-materialized relations with the given
+// predicate, using a hash join when an equijoin conjunct exists. The
+// table-set split for equijoin extraction is inferred from the relations'
+// schemas.
+func JoinRelations(kind algebra.JoinKind, left, right Relation, pred algebra.Pred) (Relation, error) {
+	concat := left.Schema.Concat(right.Schema)
+	f, err := pred.Compile(concat)
+	if err != nil {
+		return Relation{}, err
+	}
+	leftTabs := make(map[string]bool)
+	for _, t := range left.Schema.Tables() {
+		leftTabs[t] = true
+	}
+	rightTabs := make(map[string]bool)
+	for _, t := range right.Schema.Tables() {
+		rightTabs[t] = true
+	}
+	pairs, _ := algebra.EquiPairs(pred, leftTabs, rightTabs)
+	if len(pairs) > 0 {
+		return hashJoin(kind, left, right, concat, f, pairs)
+	}
+	return nestedLoopJoin(kind, left, right, concat, f)
+}
+
+func sameColumnSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[int]bool, len(a))
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinWithProbe drives inner/left-outer/semi/anti joins through a probe
+// source.
+func joinWithProbe(kind algebra.JoinKind, left Relation, rightSchema, concat rel.Schema, pred func(rel.Row) algebra.Tri, probe probeFunc) (Relation, error) {
+	out := Relation{Schema: concat}
+	if kind == algebra.SemiJoin || kind == algebra.AntiJoin {
+		out.Schema = left.Schema
+	}
+	nRight := len(rightSchema)
+	buf := make(rel.Row, len(left.Schema)+nRight)
+	for _, l := range left.Rows {
+		matched := false
+		cands, ok := probe(l)
+		if ok {
+			for _, r := range cands {
+				copy(buf, l)
+				copy(buf[len(l):], r)
+				if pred(buf) != algebra.True {
+					continue
+				}
+				matched = true
+				if kind == algebra.InnerJoin || kind == algebra.LeftOuterJoin {
+					out.Rows = append(out.Rows, buf.Clone())
+				} else {
+					break
+				}
+			}
+		}
+		switch kind {
+		case algebra.LeftOuterJoin:
+			if !matched {
+				out.Rows = append(out.Rows, nullExtendRight(l, nRight))
+			}
+		case algebra.SemiJoin:
+			if matched {
+				out.Rows = append(out.Rows, l)
+			}
+		case algebra.AntiJoin:
+			if !matched {
+				out.Rows = append(out.Rows, l)
+			}
+		}
+	}
+	return out, nil
+}
+
+func nullExtendRight(l rel.Row, nRight int) rel.Row {
+	out := make(rel.Row, len(l)+nRight)
+	copy(out, l)
+	return out // trailing values are the zero Value, i.e. NULL
+}
+
+func nullExtendLeft(r rel.Row, nLeft int) rel.Row {
+	out := make(rel.Row, nLeft+len(r))
+	copy(out[nLeft:], r)
+	return out
+}
+
+// hashJoin handles every join kind by hashing the right input on the
+// equijoin columns and probing with the left.
+func hashJoin(kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, pairs [][2]algebra.ColRef) (Relation, error) {
+	leftCols := make([]int, len(pairs))
+	rightCols := make([]int, len(pairs))
+	for i, p := range pairs {
+		leftCols[i] = left.Schema.MustIndexOf(p[0].Table, p[0].Column)
+		rightCols[i] = right.Schema.MustIndexOf(p[1].Table, p[1].Column)
+	}
+	table := make(map[string][]int, len(right.Rows))
+	for i, r := range right.Rows {
+		if anyNull(r, rightCols) {
+			continue // a NULL key never matches
+		}
+		k := rel.EncodeRowCols(r, rightCols)
+		table[k] = append(table[k], i)
+	}
+	probe := func(l rel.Row) []int {
+		if anyNull(l, leftCols) {
+			return nil
+		}
+		return table[rel.EncodeRowCols(l, leftCols)]
+	}
+	return genericJoin(kind, left, right, concat, pred, probe)
+}
+
+// nestedLoopJoin handles joins without equijoin conjuncts.
+func nestedLoopJoin(kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri) (Relation, error) {
+	all := make([]int, len(right.Rows))
+	for i := range all {
+		all[i] = i
+	}
+	return genericJoin(kind, left, right, concat, pred, func(rel.Row) []int { return all })
+}
+
+// genericJoin drives any join kind over a candidate-index probe into the
+// materialized right input, tracking matched right rows for right/full
+// outer joins.
+func genericJoin(kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, probe func(rel.Row) []int) (Relation, error) {
+	out := Relation{Schema: concat}
+	if kind == algebra.SemiJoin || kind == algebra.AntiJoin {
+		out.Schema = left.Schema
+	}
+	var matchedRight []bool
+	if kind == algebra.RightOuterJoin || kind == algebra.FullOuterJoin {
+		matchedRight = make([]bool, len(right.Rows))
+	}
+	buf := make(rel.Row, len(left.Schema)+len(right.Schema))
+	for _, l := range left.Rows {
+		matched := false
+		for _, idx := range probe(l) {
+			r := right.Rows[idx]
+			copy(buf, l)
+			copy(buf[len(l):], r)
+			if pred(buf) != algebra.True {
+				continue
+			}
+			matched = true
+			if matchedRight != nil {
+				matchedRight[idx] = true
+			}
+			switch kind {
+			case algebra.InnerJoin, algebra.LeftOuterJoin, algebra.RightOuterJoin, algebra.FullOuterJoin:
+				out.Rows = append(out.Rows, buf.Clone())
+			}
+		}
+		switch kind {
+		case algebra.LeftOuterJoin, algebra.FullOuterJoin:
+			if !matched {
+				out.Rows = append(out.Rows, nullExtendRight(l, len(right.Schema)))
+			}
+		case algebra.SemiJoin:
+			if matched {
+				out.Rows = append(out.Rows, l)
+			}
+		case algebra.AntiJoin:
+			if !matched {
+				out.Rows = append(out.Rows, l)
+			}
+		}
+	}
+	if matchedRight != nil {
+		for i, r := range right.Rows {
+			if !matchedRight[i] {
+				out.Rows = append(out.Rows, nullExtendLeft(r, len(left.Schema)))
+			}
+		}
+	}
+	return out, nil
+}
+
+func anyNull(r rel.Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c].IsNull() {
+			return true
+		}
+	}
+	return false
+}

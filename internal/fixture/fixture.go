@@ -1,0 +1,242 @@
+// Package fixture provides the paper's example schemas, views and
+// deterministic synthetic data, shared by tests, benchmarks, examples and
+// the command-line tools:
+//
+//   - V1 (Example 2): (R fo S) lo (T fo U) over abstract tables, with an
+//     optional foreign key U.tfk→T.tk (Example 10).
+//   - V2 (Example 11): σ(C) fo (σ(O) fo L), with an optional foreign key
+//     L.lok→O.ok.
+//
+// The TPC-H views of the experimental section live in internal/tpch.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ojv/internal/algebra"
+	"ojv/internal/rel"
+)
+
+// RSTUOptions configures the abstract four-table database.
+type RSTUOptions struct {
+	// Rows is the approximate per-table row count.
+	Rows int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// WithFK declares U.tfk→T.tk and uses T.tk=U.tfk as the T-U join
+	// predicate (the Example 10 setting). Only half of T's keys are ever
+	// referenced so the other half stays deletable under RESTRICT.
+	WithFK bool
+}
+
+// RSTU builds the abstract R,S,T,U catalog with deterministic data.
+//
+// Schema: R(rk,b,c), S(sk,b), T(tk,c,d), U(uk,d,tfk). The join attributes
+// draw from small domains so every outer-join case (match, multi-match,
+// orphan) occurs.
+func RSTU(opt RSTUOptions) (*rel.Catalog, error) {
+	if opt.Rows <= 0 {
+		opt.Rows = 40
+	}
+	c := rel.NewCatalog()
+	mk := func(name string, cols []rel.Column, key string) error {
+		_, err := c.CreateTable(name, cols, key)
+		return err
+	}
+	intCol := func(n string) rel.Column { return rel.Column{Name: n, Kind: rel.KindInt} }
+	if err := mk("R", []rel.Column{intCol("rk"), intCol("b"), intCol("c")}, "rk"); err != nil {
+		return nil, err
+	}
+	if err := mk("S", []rel.Column{intCol("sk"), intCol("b")}, "sk"); err != nil {
+		return nil, err
+	}
+	if err := mk("T", []rel.Column{intCol("tk"), intCol("c"), intCol("d")}, "tk"); err != nil {
+		return nil, err
+	}
+	ucols := []rel.Column{intCol("uk"), intCol("d")}
+	if opt.WithFK {
+		ucols = append(ucols, rel.Column{Name: "tfk", Kind: rel.KindInt, NotNull: true})
+	}
+	if err := mk("U", ucols, "uk"); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	dom := int64(opt.Rows/2 + 2)
+	val := func() rel.Value { return rel.Int(rng.Int63n(dom)) }
+
+	var rRows, sRows, tRows, uRows []rel.Row
+	for i := 0; i < opt.Rows; i++ {
+		rRows = append(rRows, rel.Row{rel.Int(int64(i)), val(), val()})
+		sRows = append(sRows, rel.Row{rel.Int(int64(i)), val()})
+		tRows = append(tRows, rel.Row{rel.Int(int64(i)), val(), val()})
+	}
+	for i := 0; i < opt.Rows; i++ {
+		row := rel.Row{rel.Int(int64(i)), val()}
+		if opt.WithFK {
+			// Reference only even T keys, leaving odd keys deletable.
+			row = append(row, rel.Int(2*rng.Int63n(int64(opt.Rows)/2)))
+		}
+		uRows = append(uRows, row)
+	}
+	if err := c.Insert("R", rRows); err != nil {
+		return nil, err
+	}
+	if err := c.Insert("S", sRows); err != nil {
+		return nil, err
+	}
+	if err := c.Insert("T", tRows); err != nil {
+		return nil, err
+	}
+	if err := c.Insert("U", uRows); err != nil {
+		return nil, err
+	}
+	if opt.WithFK {
+		if err := c.AddForeignKey("U", []string{"tfk"}, "T", []string{"tk"}); err != nil {
+			return nil, err
+		}
+	}
+	// Secondary indexes on the join attributes (the experiments assume the
+	// base tables are indexed for maintenance probes).
+	for _, ix := range []struct{ table, col string }{
+		{"R", "b"}, {"R", "c"}, {"S", "b"}, {"T", "c"}, {"T", "d"}, {"U", "d"},
+	} {
+		if _, err := c.Table(ix.table).CreateIndex(ix.table+"_"+ix.col, ix.col); err != nil {
+			return nil, err
+		}
+	}
+	if opt.WithFK {
+		if _, err := c.Table("U").CreateIndex("U_tfk", "tfk"); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// V1Expr is the running example V1 = (R fo[R.b=S.b] S) lo[R.c=T.c]
+// (T fo[p] U) where p is T.d=U.d, or T.tk=U.tfk when withFK.
+func V1Expr(withFK bool) algebra.Expr {
+	tu := algebra.Eq("T", "d", "U", "d")
+	if withFK {
+		tu = algebra.Eq("T", "tk", "U", "tfk")
+	}
+	return &algebra.Join{
+		Kind:  algebra.LeftOuterJoin,
+		Left:  &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "R"}, Right: &algebra.TableRef{Name: "S"}, Pred: algebra.Eq("R", "b", "S", "b")},
+		Right: &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "T"}, Right: &algebra.TableRef{Name: "U"}, Pred: tu},
+		Pred:  algebra.Eq("R", "c", "T", "c"),
+	}
+}
+
+// V1Output projects every column of every table (which trivially includes
+// all key columns, as Define requires).
+func V1Output(cat *rel.Catalog) []algebra.ColRef {
+	return AllColumns(cat, "R", "S", "T", "U")
+}
+
+// AllColumns returns ColRefs for every column of the named tables.
+func AllColumns(cat *rel.Catalog, tables ...string) []algebra.ColRef {
+	var out []algebra.ColRef
+	for _, t := range tables {
+		sch, ok := cat.TableSchema(t)
+		if !ok {
+			panic(fmt.Sprintf("fixture: unknown table %s", t))
+		}
+		for _, c := range sch {
+			out = append(out, algebra.Col(c.Table, c.Name))
+		}
+	}
+	return out
+}
+
+// COLOptions configures the customer/order/line-item style database of V2.
+type COLOptions struct {
+	Customers int
+	Orders    int
+	Lineitems int
+	Seed      int64
+	// WithFK declares L.lok→O.ok (the Figure 4(b) setting).
+	WithFK bool
+}
+
+// COL builds the C,O,L catalog of Example 11 with deterministic data.
+// Schema: C(ck,a), O(ok,ock,a), L(lk,lok). O.ock references a customer key
+// in [0, 2×Customers) so roughly half the orders are dangling unless the
+// caller sizes domains differently; L.lok references an order key in
+// [0, Orders) (valid when WithFK).
+func COL(opt COLOptions) (*rel.Catalog, error) {
+	if opt.Customers <= 0 {
+		opt.Customers = 30
+	}
+	if opt.Orders <= 0 {
+		opt.Orders = 60
+	}
+	if opt.Lineitems <= 0 {
+		opt.Lineitems = 120
+	}
+	c := rel.NewCatalog()
+	intCol := func(n string) rel.Column { return rel.Column{Name: n, Kind: rel.KindInt} }
+	if _, err := c.CreateTable("C", []rel.Column{intCol("ck"), intCol("a")}, "ck"); err != nil {
+		return nil, err
+	}
+	if _, err := c.CreateTable("O", []rel.Column{intCol("ok"), {Name: "ock", Kind: rel.KindInt, NotNull: true}, intCol("a")}, "ok"); err != nil {
+		return nil, err
+	}
+	if _, err := c.CreateTable("L", []rel.Column{intCol("lk"), {Name: "lok", Kind: rel.KindInt, NotNull: true}}, "lk"); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var rows []rel.Row
+	for i := 0; i < opt.Customers; i++ {
+		rows = append(rows, rel.Row{rel.Int(int64(i)), rel.Int(rng.Int63n(10))})
+	}
+	if err := c.Insert("C", rows); err != nil {
+		return nil, err
+	}
+	rows = nil
+	for i := 0; i < opt.Orders; i++ {
+		rows = append(rows, rel.Row{rel.Int(int64(i)), rel.Int(rng.Int63n(int64(2 * opt.Customers))), rel.Int(rng.Int63n(10))})
+	}
+	if err := c.Insert("O", rows); err != nil {
+		return nil, err
+	}
+	rows = nil
+	for i := 0; i < opt.Lineitems; i++ {
+		rows = append(rows, rel.Row{rel.Int(int64(i)), rel.Int(rng.Int63n(int64(opt.Orders)))})
+	}
+	if err := c.Insert("L", rows); err != nil {
+		return nil, err
+	}
+	if opt.WithFK {
+		if err := c.AddForeignKey("L", []string{"lok"}, "O", []string{"ok"}); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range []struct{ table, col string }{{"O", "ock"}, {"L", "lok"}} {
+		if _, err := c.Table(ix.table).CreateIndex(ix.table+"_"+ix.col, ix.col); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// V2Expr is V2 = σ[C.a>0](C) fo[ck=ock] (σ[O.a>0](O) fo[ok=lok] L).
+func V2Expr() algebra.Expr {
+	return &algebra.Join{
+		Kind: algebra.FullOuterJoin,
+		Left: &algebra.Select{Input: &algebra.TableRef{Name: "C"}, Pred: algebra.CmpConst("C", "a", algebra.OpGt, rel.Int(0))},
+		Right: &algebra.Join{
+			Kind:  algebra.FullOuterJoin,
+			Left:  &algebra.Select{Input: &algebra.TableRef{Name: "O"}, Pred: algebra.CmpConst("O", "a", algebra.OpGt, rel.Int(0))},
+			Right: &algebra.TableRef{Name: "L"},
+			Pred:  algebra.Eq("O", "ok", "L", "lok"),
+		},
+		Pred: algebra.Eq("C", "ck", "O", "ock"),
+	}
+}
+
+// V2Output projects all columns of C, O and L.
+func V2Output(cat *rel.Catalog) []algebra.ColRef {
+	return AllColumns(cat, "C", "O", "L")
+}

@@ -1,0 +1,123 @@
+package fixture
+
+import (
+	"math/rand"
+	"testing"
+
+	"ojv/internal/algebra"
+	"ojv/internal/rel"
+)
+
+func TestRSTUDeterministic(t *testing.T) {
+	a, err := RSTU(RSTUOptions{Rows: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RSTU(RSTUOptions{Rows: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"R", "S", "T", "U"} {
+		ra, rb := a.Table(name).Rows(), b.Table(name).Rows()
+		rel.SortRows(ra)
+		rel.SortRows(rb)
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: %d vs %d rows", name, len(ra), len(rb))
+		}
+		for i := range ra {
+			if !ra[i].Equal(rb[i]) {
+				t.Fatalf("%s row %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestRSTUWithFKIsValid(t *testing.T) {
+	cat, err := RSTU(RSTUOptions{Rows: 30, Seed: 2, WithFK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The FK is declared (AddForeignKey validates existing rows).
+	fks := cat.ForeignKeys("U")
+	if len(fks) != 1 || fks[0].RefTable != "T" {
+		t.Fatalf("U FKs = %v", fks)
+	}
+	// Odd T keys are never referenced: deletable under RESTRICT.
+	if _, err := cat.Delete("T", [][]rel.Value{{rel.Int(1)}}); err != nil {
+		t.Errorf("odd T key should be deletable: %v", err)
+	}
+}
+
+func TestCOLWithFKIsValid(t *testing.T) {
+	cat, err := COL(COLOptions{Seed: 2, WithFK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.ForeignKeys("L")) != 1 {
+		t.Error("L should have one FK")
+	}
+	// V2 defines over this catalog.
+	if _, err := algebra.Normalize(V2Expr(), cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV1ExprShapes(t *testing.T) {
+	plain := V1Expr(false)
+	if len(plain.Tables()) != 4 {
+		t.Errorf("V1 tables = %v", plain.Tables())
+	}
+	nf, err := algebra.Normalize(plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nf.Terms) != 7 {
+		t.Errorf("V1 has %d terms, want 7", len(nf.Terms))
+	}
+	// The FK variant joins T-U on the foreign key.
+	fk := V1Expr(true)
+	j := fk.(*algebra.Join).Right.(*algebra.Join)
+	if j.Pred.String() != "T.tk=U.tfk" {
+		t.Errorf("FK variant T-U predicate = %s", j.Pred)
+	}
+}
+
+func TestAllColumnsPanicsOnUnknownTable(t *testing.T) {
+	cat, err := RSTU(RSTUOptions{Rows: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown table must panic")
+		}
+	}()
+	AllColumns(cat, "nosuch")
+}
+
+func TestRandSPOJProducesValidViews(t *testing.T) {
+	for seed := 0; seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		cat, err := RandCatalog(rng, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := RandSPOJ(rng)
+		if len(e.Tables()) < 2 {
+			t.Fatalf("seed %d: too few tables: %v", seed, e.Tables())
+		}
+		// Every generated expression normalizes (is a valid SPOJ tree) and
+		// its output covers all tables.
+		nf, err := algebra.Normalize(e, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(nf.Terms) == 0 {
+			t.Fatalf("seed %d: empty normal form", seed)
+		}
+		out := RandOutput(cat, e)
+		if len(out) != 3*len(e.Tables()) {
+			t.Fatalf("seed %d: output = %d cols", seed, len(out))
+		}
+	}
+}

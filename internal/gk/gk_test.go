@@ -1,0 +1,216 @@
+package gk_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ojv/internal/algebra"
+	"ojv/internal/exec"
+	"ojv/internal/fixture"
+	"ojv/internal/gk"
+	"ojv/internal/rel"
+)
+
+// recompute evaluates the view expression from scratch and projects it like
+// the GK view does, returning sorted rows.
+func recompute(t *testing.T, cat *rel.Catalog, expr algebra.Expr, output []algebra.ColRef) []rel.Row {
+	t.Helper()
+	ctx := &exec.Context{Catalog: cat}
+	res, err := exec.Eval(ctx, expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([]int, len(output))
+	for i, c := range output {
+		cols[i] = res.Schema.MustIndexOf(c.Table, c.Column)
+	}
+	rows := make([]rel.Row, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = r.Project(cols)
+	}
+	rel.SortRows(rows)
+	return rows
+}
+
+func checkGK(t *testing.T, v *gk.View, cat *rel.Catalog, expr algebra.Expr, output []algebra.ColRef, msg string) {
+	t.Helper()
+	got := v.SortedRows()
+	want := recompute(t, cat, expr, output)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", msg, len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("%s: row %d: got %s want %s", msg, i, got[i], want[i])
+		}
+	}
+}
+
+func TestGKV1RoundTrip(t *testing.T) {
+	cat, err := fixture.RSTU(fixture.RSTUOptions{Rows: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := fixture.V1Expr(false)
+	output := fixture.V1Output(cat)
+	v, err := gk.New(cat, "v1gk", expr, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	checkGK(t, v, cat, expr, output, "initial")
+
+	rng := rand.New(rand.NewSource(31))
+	nextKey := int64(5000)
+	mkRows := func(table string, n int) []rel.Row {
+		var rows []rel.Row
+		for i := 0; i < n; i++ {
+			val := func() rel.Value { return rel.Int(rng.Int63n(17)) }
+			switch table {
+			case "R", "T":
+				rows = append(rows, rel.Row{rel.Int(nextKey), val(), val()})
+			default:
+				rows = append(rows, rel.Row{rel.Int(nextKey), val()})
+			}
+			nextKey++
+		}
+		return rows
+	}
+	for _, table := range []string{"R", "S", "T", "U"} {
+		rows := mkRows(table, 6)
+		if err := cat.Insert(table, rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.OnInsert(table, rows); err != nil {
+			t.Fatalf("OnInsert(%s): %v", table, err)
+		}
+		checkGK(t, v, cat, expr, output, "after insert "+table)
+	}
+	for _, table := range []string{"R", "S", "T", "U"} {
+		var keys [][]rel.Value
+		for _, row := range cat.Table(table).Rows() {
+			keys = append(keys, row.Project(cat.Table(table).KeyCols()))
+			if len(keys) == 5 {
+				break
+			}
+		}
+		deleted, err := cat.Delete(table, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.OnDelete(table, deleted); err != nil {
+			t.Fatalf("OnDelete(%s): %v", table, err)
+		}
+		checkGK(t, v, cat, expr, output, "after delete "+table)
+	}
+}
+
+func TestGKV2RoundTrip(t *testing.T) {
+	cat, err := fixture.COL(fixture.COLOptions{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := fixture.V2Expr()
+	output := fixture.V2Output(cat)
+	v, err := gk.New(cat, "v2gk", expr, output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for step := 0; step < 12; step++ {
+		table := []string{"C", "O", "L"}[rng.Intn(3)]
+		if step%2 == 0 {
+			var rows []rel.Row
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				k := rel.Int(int64(3000 + 10*step + i))
+				switch table {
+				case "C":
+					rows = append(rows, rel.Row{k, rel.Int(rng.Int63n(10))})
+				case "O":
+					rows = append(rows, rel.Row{k, rel.Int(rng.Int63n(60)), rel.Int(rng.Int63n(10))})
+				case "L":
+					rows = append(rows, rel.Row{k, rel.Int(rng.Int63n(60))})
+				}
+			}
+			if err := cat.Insert(table, rows); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.OnInsert(table, rows); err != nil {
+				t.Fatalf("step %d insert %s: %v", step, table, err)
+			}
+		} else {
+			var keys [][]rel.Value
+			for _, row := range cat.Table(table).Rows() {
+				keys = append(keys, row.Project(cat.Table(table).KeyCols()))
+				if len(keys) == 1+rng.Intn(3) {
+					break
+				}
+			}
+			deleted, err := cat.Delete(table, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := v.OnDelete(table, deleted); err != nil {
+				t.Fatalf("step %d delete %s: %v", step, table, err)
+			}
+		}
+		checkGK(t, v, cat, expr, output, fmt.Sprintf("step %d (%s)", step, table))
+	}
+}
+
+func TestGKUnreferencedTableAndEmptyDelta(t *testing.T) {
+	cat, err := fixture.RSTU(fixture.RSTUOptions{Rows: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "R"}, Right: &algebra.TableRef{Name: "S"}, Pred: algebra.Eq("R", "b", "S", "b")}
+	v, err := gk.New(cat, "rs", expr, fixture.AllColumns(cat, "R", "S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	before := v.Len()
+	if err := v.OnInsert("T", []rel.Row{{rel.Int(999), rel.Int(1), rel.Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.OnInsert("R", nil); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != before {
+		t.Error("view must be unchanged")
+	}
+}
+
+func TestGKBuildDeltasShape(t *testing.T) {
+	// For an insert into the inner (left-preserved) side of a left outer
+	// join, the delete delta must be non-nil: newly matched left rows lose
+	// their null-extended form.
+	expr := &algebra.Join{Kind: algebra.LeftOuterJoin, Left: &algebra.TableRef{Name: "O"}, Right: &algebra.TableRef{Name: "L"}, Pred: algebra.Eq("O", "ok", "L", "lok")}
+	ins, del, err := gk.BuildDeltas(expr, "L", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins == nil || del == nil {
+		t.Errorf("lo insert on right: ins=%v del=%v, both must be non-nil", ins, del)
+	}
+	// For an insert into the preserved (left) side, only the insert delta
+	// exists.
+	ins, del, err = gk.BuildDeltas(expr, "O", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins == nil || del != nil {
+		t.Errorf("lo insert on left: ins=%v del=%v", ins, del)
+	}
+	if _, _, err := gk.BuildDeltas(&algebra.Dedup{Input: &algebra.TableRef{Name: "O"}}, "O", true); err == nil {
+		t.Error("non-SPOJ input must be rejected")
+	}
+}

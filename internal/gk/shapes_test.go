@@ -1,0 +1,112 @@
+package gk_test
+
+import (
+	"strings"
+	"testing"
+
+	"ojv/internal/algebra"
+	"ojv/internal/gk"
+	"ojv/internal/rel"
+)
+
+// Structural checks on the derived change-propagation expressions: which
+// sides produce deltas, when pre-update states are consulted, and that the
+// null-extension parts are padded to the full schema.
+
+func joinOf(kind algebra.JoinKind) *algebra.Join {
+	return &algebra.Join{
+		Kind:  kind,
+		Left:  &algebra.TableRef{Name: "A"},
+		Right: &algebra.TableRef{Name: "B"},
+		Pred:  algebra.Eq("A", "Aj", "B", "Bj"),
+	}
+}
+
+func TestDeltaShapesPerKindAndSide(t *testing.T) {
+	cases := []struct {
+		kind          algebra.JoinKind
+		table         string
+		insert        bool
+		wantIns       bool
+		wantDel       bool
+		wantsOldState bool
+	}{
+		// Inner joins: one-sided deltas only.
+		{algebra.InnerJoin, "A", true, true, false, false},
+		{algebra.InnerJoin, "A", false, false, true, false},
+		{algebra.InnerJoin, "B", true, true, false, false},
+		// lo with the preserved side changing: one-sided.
+		{algebra.LeftOuterJoin, "A", true, true, false, false},
+		{algebra.LeftOuterJoin, "A", false, false, true, false},
+		// lo with the null-extended side changing: both deltas, and the
+		// pre-update state of B is consulted for inserts.
+		{algebra.LeftOuterJoin, "B", true, true, true, true},
+		{algebra.LeftOuterJoin, "B", false, true, true, false},
+		// ro mirrors lo.
+		{algebra.RightOuterJoin, "B", true, true, false, false},
+		{algebra.RightOuterJoin, "A", true, true, true, true},
+		// fo: both deltas from either side.
+		{algebra.FullOuterJoin, "A", true, true, true, true},
+		{algebra.FullOuterJoin, "B", false, true, true, false},
+	}
+	for _, c := range cases {
+		ins, del, err := gk.BuildDeltas(joinOf(c.kind), c.table, c.insert)
+		if err != nil {
+			t.Fatalf("%v/%s/insert=%v: %v", c.kind, c.table, c.insert, err)
+		}
+		if (ins != nil) != c.wantIns || (del != nil) != c.wantDel {
+			t.Errorf("%v/%s/insert=%v: ins=%v del=%v, want ins=%v del=%v",
+				c.kind, c.table, c.insert, ins != nil, del != nil, c.wantIns, c.wantDel)
+			continue
+		}
+		combined := ""
+		if ins != nil {
+			combined += ins.String()
+		}
+		if del != nil {
+			combined += del.String()
+		}
+		if got := strings.Contains(combined, "ᵒ"); got != c.wantsOldState {
+			t.Errorf("%v/%s/insert=%v: old-state use=%v, want %v in %s",
+				c.kind, c.table, c.insert, got, c.wantsOldState, combined)
+		}
+	}
+}
+
+func TestDeltaNullPartsArePadded(t *testing.T) {
+	// For an insert into the inner side of a left outer join, the delete
+	// delta's null-extension branch must be padded to carry B's columns.
+	_, del, err := gk.BuildDeltas(joinOf(algebra.LeftOuterJoin), "B", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(del.String(), "pad[B]") {
+		t.Errorf("delete delta must pad the null-extension part: %s", del)
+	}
+	// fo on the changed right side pads both the left-null and right-null
+	// parts.
+	ins, _, err := gk.BuildDeltas(joinOf(algebra.FullOuterJoin), "B", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ins.String(), "pad[A]") {
+		t.Errorf("fo insert delta must pad the right-preserved part: %s", ins)
+	}
+}
+
+func TestDeltaThroughSelection(t *testing.T) {
+	e := &algebra.Select{
+		Input: joinOf(algebra.FullOuterJoin),
+		Pred:  algebra.CmpConst("A", "Av", algebra.OpLt, rel.Int(10)),
+	}
+	ins, del, err := gk.BuildDeltas(e, "A", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins == nil || del == nil {
+		t.Fatal("selection over fo must propagate both deltas")
+	}
+	if !strings.HasPrefix(ins.String(), "σ[") || !strings.HasPrefix(del.String(), "σ[") {
+		t.Errorf("selection must wrap the child deltas: %s / %s", ins, del)
+	}
+}

@@ -1,0 +1,359 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog is a named collection of base tables plus the declared foreign-key
+// constraints between them. All mutations go through the catalog so that
+// key and foreign-key invariants hold whenever view maintenance runs.
+type Catalog struct {
+	tables map[string]*Table
+	names  []string
+	// inbound maps a referenced table name to the constraints pointing at it.
+	inbound map[string][]inboundFK
+}
+
+type inboundFK struct {
+	fromTable string
+	fk        ForeignKey
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*Table),
+		inbound: make(map[string][]inboundFK),
+	}
+}
+
+// CreateTable creates a table with the given columns and unique key. Key
+// columns are implicitly NOT NULL, as the paper requires.
+func (c *Catalog) CreateTable(name string, cols []Column, key ...string) (*Table, error) {
+	if _, dup := c.tables[name]; dup {
+		return nil, fmt.Errorf("rel: table %s already exists", name)
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("rel: table %s: a unique key is required", name)
+	}
+	schema := make(Schema, len(cols))
+	for i, col := range cols {
+		col.Table = name
+		schema[i] = col
+	}
+	keyCols := make([]int, len(key))
+	for i, k := range key {
+		p := schema.IndexOf(name, k)
+		if p < 0 {
+			return nil, fmt.Errorf("rel: table %s: key column %s does not exist", name, k)
+		}
+		schema[p].NotNull = true
+		keyCols[i] = p
+	}
+	t := &Table{name: name, schema: schema, keyCols: keyCols, rows: make(map[string]Row)}
+	c.tables[name] = t
+	c.names = append(c.names, name)
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// TableNames returns the table names in creation order.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// TableSchema implements the schema-resolver interface used by the algebra
+// and executor packages.
+func (c *Catalog) TableSchema(name string) (Schema, bool) {
+	t := c.tables[name]
+	if t == nil {
+		return nil, false
+	}
+	return t.schema, true
+}
+
+// AddForeignKey declares and begins enforcing a foreign key from
+// table(cols...) to refTable(refCols...). The referenced columns must be the
+// referenced table's unique key and the referencing columns must be NOT
+// NULL; both conditions are what make the paper's foreign-key optimizations
+// (Section 6) sound. A secondary index on the referencing columns is created
+// automatically so deletes from the referenced table can be validated.
+func (c *Catalog) AddForeignKey(table string, cols []string, refTable string, refCols []string) error {
+	t := c.tables[table]
+	if t == nil {
+		return fmt.Errorf("rel: unknown table %s", table)
+	}
+	rt := c.tables[refTable]
+	if rt == nil {
+		return fmt.Errorf("rel: unknown referenced table %s", refTable)
+	}
+	if len(cols) != len(refCols) || len(cols) == 0 {
+		return fmt.Errorf("rel: foreign key %s->%s: column count mismatch", table, refTable)
+	}
+	refOffsets := make([]int, len(refCols))
+	for i, rc := range refCols {
+		p := rt.schema.IndexOf(refTable, rc)
+		if p < 0 {
+			return fmt.Errorf("rel: foreign key: column %s.%s does not exist", refTable, rc)
+		}
+		refOffsets[i] = p
+	}
+	if !sameIntSet(refOffsets, rt.keyCols) {
+		return fmt.Errorf("rel: foreign key %s->%s must reference the unique key of %s", table, refTable, refTable)
+	}
+	offsets := make([]int, len(cols))
+	for i, fc := range cols {
+		p := t.schema.IndexOf(table, fc)
+		if p < 0 {
+			return fmt.Errorf("rel: foreign key: column %s.%s does not exist", table, fc)
+		}
+		if !t.schema[p].NotNull {
+			return fmt.Errorf("rel: foreign key column %s.%s must be NOT NULL", table, fc)
+		}
+		offsets[i] = p
+	}
+	// Validate existing rows.
+	for _, row := range t.rows {
+		if !c.fkSatisfied(rt, refOffsets, row, offsets) {
+			return fmt.Errorf("rel: foreign key %s->%s violated by existing row %s", table, refTable, row)
+		}
+	}
+	fk := ForeignKey{Cols: append([]string(nil), cols...), RefTable: refTable, RefCols: append([]string(nil), refCols...)}
+	t.fks = append(t.fks, fk)
+	c.inbound[refTable] = append(c.inbound[refTable], inboundFK{fromTable: table, fk: fk})
+	if t.IndexOnSet(offsets) == nil {
+		if _, err := t.CreateIndex(fmt.Sprintf("fk_%s_%s", table, refTable), cols...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fkSatisfied reports whether row's FK columns (at offsets) match a key of rt
+// whose key column order corresponds to refOffsets.
+func (c *Catalog) fkSatisfied(rt *Table, refOffsets []int, row Row, offsets []int) bool {
+	// Reorder FK values into the referenced table's key column order.
+	vals := make([]Value, len(rt.keyCols))
+	for i, kc := range rt.keyCols {
+		found := false
+		for j, ro := range refOffsets {
+			if ro == kc {
+				vals[i] = row[offsets[j]]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	_, ok := rt.Get(vals...)
+	return ok
+}
+
+// ForeignKeys returns the outbound foreign keys of the named table. It
+// returns nil for unknown tables, which lets the planner treat an absent
+// table as having no constraints.
+func (c *Catalog) ForeignKeys(table string) []ForeignKey {
+	t := c.tables[table]
+	if t == nil {
+		return nil
+	}
+	return t.ForeignKeys()
+}
+
+// ReferencingKeys returns the foreign keys of all tables that reference the
+// given table, as (referencing table, fk) pairs.
+func (c *Catalog) ReferencingKeys(refTable string) []ForeignKeyRef {
+	in := c.inbound[refTable]
+	out := make([]ForeignKeyRef, len(in))
+	for i, r := range in {
+		out[i] = ForeignKeyRef{Table: r.fromTable, FK: r.fk}
+	}
+	return out
+}
+
+// ForeignKeyRef pairs a referencing table with one of its foreign keys.
+type ForeignKeyRef struct {
+	Table string
+	FK    ForeignKey
+}
+
+// Insert inserts rows into the named table, enforcing key uniqueness, NOT
+// NULL constraints and outbound foreign keys. On error no row is applied
+// (all-or-nothing per batch).
+func (c *Catalog) Insert(table string, rows []Row) error {
+	t := c.tables[table]
+	if t == nil {
+		return fmt.Errorf("rel: unknown table %s", table)
+	}
+	// Pre-validate: keys unique (including within the batch) and FKs satisfied.
+	seen := make(map[string]bool, len(rows))
+	for _, row := range rows {
+		if err := t.validateRow(row); err != nil {
+			return err
+		}
+		k := t.KeyOf(row)
+		if seen[k] || t.ContainsKey(k) {
+			return fmt.Errorf("rel: table %s: duplicate key %v", table, row.Project(t.keyCols))
+		}
+		seen[k] = true
+		for _, fk := range t.fks {
+			if err := c.checkOutboundFK(t, fk, row); err != nil {
+				return err
+			}
+		}
+	}
+	for _, row := range rows {
+		if err := t.insert(row); err != nil {
+			return err // unreachable after pre-validation
+		}
+	}
+	return nil
+}
+
+func (c *Catalog) checkOutboundFK(t *Table, fk ForeignKey, row Row) error {
+	rt := c.tables[fk.RefTable]
+	offsets := make([]int, len(fk.Cols))
+	refOffsets := make([]int, len(fk.RefCols))
+	for i := range fk.Cols {
+		offsets[i] = t.schema.MustIndexOf(t.name, fk.Cols[i])
+		refOffsets[i] = rt.schema.MustIndexOf(rt.name, fk.RefCols[i])
+	}
+	if !c.fkSatisfied(rt, refOffsets, row, offsets) {
+		return fmt.Errorf("rel: foreign key %s(%v)->%s violated by row %s", t.name, fk.Cols, fk.RefTable, row)
+	}
+	return nil
+}
+
+// Delete removes the rows with the given key value lists from the named
+// table and returns the full deleted rows. Deleting a row that is still
+// referenced through an inbound foreign key is an error (RESTRICT
+// semantics; the paper's FK optimization excludes cascading deletes).
+func (c *Catalog) Delete(table string, keys [][]Value) ([]Row, error) {
+	t := c.tables[table]
+	if t == nil {
+		return nil, fmt.Errorf("rel: unknown table %s", table)
+	}
+	encoded := make([]string, len(keys))
+	for i, kv := range keys {
+		if len(kv) != len(t.keyCols) {
+			return nil, fmt.Errorf("rel: table %s: key has %d values, expected %d", table, len(kv), len(t.keyCols))
+		}
+		encoded[i] = EncodeValues(kv...)
+		if !t.ContainsKey(encoded[i]) {
+			return nil, fmt.Errorf("rel: table %s: no row with key %v", table, kv)
+		}
+	}
+	// RESTRICT check: no inbound references to any deleted row.
+	for i, kv := range keys {
+		for _, in := range c.inbound[table] {
+			if c.referenced(table, kv, in) {
+				return nil, fmt.Errorf("rel: cannot delete %s key %v: referenced by %s", table, keys[i], in.fromTable)
+			}
+		}
+	}
+	out := make([]Row, 0, len(keys))
+	for _, k := range encoded {
+		row, ok := t.deleteByKey(k)
+		if !ok {
+			return nil, fmt.Errorf("rel: table %s: concurrent delete of key", table)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// referenced reports whether any row of in.fromTable references the row of
+// table with key kv (kv in the referenced table's key column order).
+func (c *Catalog) referenced(table string, kv []Value, in inboundFK) bool {
+	ft := c.tables[in.fromTable]
+	offsets := make([]int, len(in.fk.Cols))
+	for i, fc := range in.fk.Cols {
+		offsets[i] = ft.schema.MustIndexOf(ft.name, fc)
+	}
+	ix := ft.IndexOnSet(offsets)
+	// Reorder key values from the referenced key order into the FK's
+	// declared refCols order, then into the index column order.
+	rt := c.tables[table]
+	valueOfKeyCol := make(map[int]Value, len(kv))
+	for i, kc := range rt.keyCols {
+		valueOfKeyCol[kc] = kv[i]
+	}
+	want := make([]Value, len(offsets))
+	for i, rc := range in.fk.RefCols {
+		want[i] = valueOfKeyCol[rt.schema.MustIndexOf(table, rc)]
+	}
+	if ix != nil {
+		// Map FK-declared order to index column order.
+		ordered := make([]Value, len(ix.cols))
+		for i, ic := range ix.cols {
+			for j, fo := range offsets {
+				if fo == ic {
+					ordered[i] = want[j]
+					break
+				}
+			}
+		}
+		return len(ix.Lookup(EncodeValues(ordered...))) > 0
+	}
+	for _, row := range ft.rows {
+		match := true
+		for i, o := range offsets {
+			if !row[o].Equal(want[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Update replaces the row with the given key by newRow, which must have
+// the same key values. Inbound references stay valid (the key is
+// unchanged), so only the new row's outbound foreign keys are checked. It
+// returns the old row. View maintenance treats the update as a deletion of
+// the old row followed by an insertion of the new one.
+func (c *Catalog) Update(table string, key []Value, newRow Row) (Row, error) {
+	t := c.tables[table]
+	if t == nil {
+		return nil, fmt.Errorf("rel: unknown table %s", table)
+	}
+	if err := t.validateRow(newRow); err != nil {
+		return nil, err
+	}
+	enc := EncodeValues(key...)
+	if t.KeyOf(newRow) != enc {
+		return nil, fmt.Errorf("rel: table %s: update must not change the key", table)
+	}
+	old, ok := t.rows[enc]
+	if !ok {
+		return nil, fmt.Errorf("rel: table %s: no row with key %v", table, key)
+	}
+	for _, fk := range t.fks {
+		if err := c.checkOutboundFK(t, fk, newRow); err != nil {
+			return nil, err
+		}
+	}
+	t.deleteByKey(enc)
+	if err := t.insert(newRow); err != nil {
+		return nil, err // unreachable: key was just freed
+	}
+	return old, nil
+}
+
+// SortRows sorts rows by their full encoded value, for deterministic output
+// in tools and tests.
+func SortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		return EncodeValues(rows[i]...) < EncodeValues(rows[j]...)
+	})
+}

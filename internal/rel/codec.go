@@ -1,0 +1,61 @@
+package rel
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// EncodeValues encodes a sequence of values into a compact string suitable
+// for use as a Go map key. The encoding is injective: distinct value
+// sequences produce distinct strings (each value is tagged with its kind and
+// strings are length-prefixed). NULLs encode as a bare kind tag, so keys
+// containing NULLs are well defined; key uniqueness over nullable view keys
+// is exactly what the paper's clustered view index provides.
+func EncodeValues(vals ...Value) string {
+	return string(AppendEncoded(make([]byte, 0, 16*len(vals)), vals...))
+}
+
+// EncodeRowCols encodes the values of row at the given column positions.
+func EncodeRowCols(row Row, cols []int) string {
+	buf := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		buf = appendValue(buf, row[c])
+	}
+	return string(buf)
+}
+
+// AppendEncoded appends the encoding of vals to buf and returns it.
+func AppendEncoded(buf []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		buf = appendValue(buf, v)
+	}
+	return buf
+}
+
+func appendValue(buf []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(buf, byte(KindNull))
+	case KindInt:
+		buf = append(buf, byte(KindInt))
+		return binary.BigEndian.AppendUint64(buf, uint64(v.i))
+	case KindFloat:
+		// Integral floats encode as integers so that Int(2) and Float(2)
+		// produce the same key, in line with Value.Equal.
+		if v.f == math.Trunc(v.f) && v.f >= -9.2e18 && v.f <= 9.2e18 {
+			buf = append(buf, byte(KindInt))
+			return binary.BigEndian.AppendUint64(buf, uint64(int64(v.f)))
+		}
+		buf = append(buf, byte(KindFloat))
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(v.f))
+	case KindBool, KindDate:
+		buf = append(buf, byte(v.kind))
+		return binary.BigEndian.AppendUint64(buf, uint64(v.i))
+	case KindString:
+		buf = append(buf, byte(KindString))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.s)))
+		return append(buf, v.s...)
+	default:
+		panic("rel: cannot encode value kind")
+	}
+}

@@ -1,0 +1,181 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a schema. Columns are identified by the
+// (Table, Name) pair; because views never reference a table twice (no
+// self-joins, a restriction the paper imposes), the pair is unique within
+// any expression schema.
+type Column struct {
+	Table   string
+	Name    string
+	Kind    Kind
+	NotNull bool
+}
+
+// QualifiedName returns "table.name".
+func (c Column) QualifiedName() string { return c.Table + "." + c.Name }
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// IndexOf returns the position of the (table, name) column, or -1.
+func (s Schema) IndexOf(table, name string) int {
+	for i, c := range s {
+		if c.Table == table && c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndexOf is IndexOf that panics when the column is missing. The
+// maintenance planner resolves all columns up front, so a miss here is an
+// internal invariant violation, not a user error.
+func (s Schema) MustIndexOf(table, name string) int {
+	i := s.IndexOf(table, name)
+	if i < 0 {
+		panic(fmt.Sprintf("rel: column %s.%s not in schema %s", table, name, s))
+	}
+	return i
+}
+
+// Has reports whether the schema contains the (table, name) column.
+func (s Schema) Has(table, name string) bool { return s.IndexOf(table, name) >= 0 }
+
+// Tables returns the distinct table names appearing in the schema, in
+// first-appearance order.
+func (s Schema) Tables() []string {
+	var out []string
+	seen := make(map[string]bool, 4)
+	for _, c := range s {
+		if !seen[c.Table] {
+			seen[c.Table] = true
+			out = append(out, c.Table)
+		}
+	}
+	return out
+}
+
+// TableColumns returns the positions of all columns belonging to table.
+func (s Schema) TableColumns(table string) []int {
+	var out []int
+	for i, c := range s {
+		if c.Table == table {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Concat returns the concatenation of two schemas. It panics if the schemas
+// share a column, which would indicate a self-join.
+func (s Schema) Concat(o Schema) Schema {
+	out := make(Schema, 0, len(s)+len(o))
+	out = append(out, s...)
+	for _, c := range o {
+		if s.Has(c.Table, c.Name) {
+			panic(fmt.Sprintf("rel: duplicate column %s in schema concat", c.QualifiedName()))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Union returns the set union of two schemas (columns of s first, then
+// columns of o not already present). This is the schema of an outer union.
+func (s Schema) Union(o Schema) Schema {
+	out := make(Schema, 0, len(s)+len(o))
+	out = append(out, s...)
+	for _, c := range o {
+		if !s.Has(c.Table, c.Name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Project returns the sub-schema at the given positions.
+func (s Schema) Project(cols []int) Schema {
+	out := make(Schema, len(cols))
+	for i, c := range cols {
+		out[i] = s[c]
+	}
+	return out
+}
+
+// String renders the schema as "(t.a, t.b, ...)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QualifiedName())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is a tuple over some schema: Row[i] is the value of schema column i.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Project returns a new row containing the values at the given positions.
+func (r Row) Project(cols []int) Row {
+	out := make(Row, len(cols))
+	for i, c := range cols {
+		out[i] = r[c]
+	}
+	return out
+}
+
+// Equal reports whether two rows are identical (NULL equals NULL).
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NullExtendedOn reports whether every column of the given table is NULL in
+// the row. This is the paper's null(T) predicate generalized to all of T's
+// columns; in practice the engine tests a key column (which is NOT NULL in
+// the base table), exactly as the paper implements null(T) in SQL.
+func (r Row) NullExtendedOn(s Schema, table string) bool {
+	for i, c := range s {
+		if c.Table == table && !r[i].IsNull() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the row for diagnostics.
+func (r Row) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package rel
+
+import (
+	"bytes"
+	"testing"
+)
+
+func snapshotFixture(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	if _, err := c.CreateTable("d", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "name", Kind: KindString},
+		{Name: "since", Kind: KindDate},
+	}, "id"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("e", []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "did", Kind: KindInt, NotNull: true},
+		{Name: "sal", Kind: KindFloat},
+		{Name: "tmp", Kind: KindBool},
+	}, "id"); err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.Insert("d", []Row{
+		{Int(1), Str("eng"), MustDate("2001-02-03")},
+		{Int(2), Null, MustDate("2002-03-04")},
+	}))
+	must(c.AddForeignKey("e", []string{"did"}, "d", []string{"id"}))
+	must(c.Insert("e", []Row{
+		{Int(10), Int(1), Float(1.5), Bool(true)},
+		{Int(11), Int(2), Null, Bool(false)},
+	}))
+	if _, err := c.Table("e").CreateIndex("e_sal", "sal"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table names in order.
+	n1, n2 := c.TableNames(), c2.TableNames()
+	if len(n1) != len(n2) || n1[0] != n2[0] || n1[1] != n2[1] {
+		t.Fatalf("names: %v vs %v", n1, n2)
+	}
+	// Rows identical (including NULLs and all kinds).
+	for _, name := range n1 {
+		a := c.Table(name).Rows()
+		b := c2.Table(name).Rows()
+		SortRows(a)
+		SortRows(b)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d rows", name, len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Fatalf("%s row %d: %s vs %s", name, i, a[i], b[i])
+			}
+		}
+	}
+	// Constraints survive: FK enforcement works on the restored catalog.
+	if err := c2.Insert("e", []Row{{Int(99), Int(42), Null, Null}}); err == nil {
+		t.Error("restored catalog must enforce foreign keys")
+	}
+	if _, err := c2.Delete("d", [][]Value{{Int(1)}}); err == nil {
+		t.Error("restored catalog must enforce RESTRICT")
+	}
+	// Secondary index restored.
+	if c2.Table("e").IndexOnSet([]int{c2.Table("e").Schema().MustIndexOf("e", "sal")}) == nil {
+		t.Error("secondary index not restored")
+	}
+	// Key uniqueness enforced.
+	if err := c2.Insert("d", []Row{{Int(1), Str("dup"), Null}}); err == nil {
+		t.Error("restored catalog must enforce key uniqueness")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	c := snapshotFixture(t)
+	var a bytes.Buffer
+	if err := c.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	// Round trip and save again: loadable either way.
+	c2, err := LoadCatalog(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := c2.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := LoadCatalog(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Table("e").Len() != 2 {
+		t.Error("double round trip lost rows")
+	}
+}
+
+func TestLoadCatalogRejectsGarbage(t *testing.T) {
+	if _, err := LoadCatalog(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage must be rejected")
+	}
+}

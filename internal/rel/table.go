@@ -1,0 +1,230 @@
+package rel
+
+import (
+	"fmt"
+)
+
+// ForeignKey declares that Cols of the owning table reference RefCols (a
+// unique key) of RefTable. The maintenance planner exploits declared foreign
+// keys (paper Section 6); the catalog also enforces them on insert and
+// delete so that exploiting them is sound.
+type ForeignKey struct {
+	Cols     []string
+	RefTable string
+	RefCols  []string
+}
+
+// Index is a secondary hash index over a column set of one table.
+type Index struct {
+	name string
+	cols []int
+	m    map[string][]Row
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Lookup returns the rows whose indexed columns encode to the given key.
+// The returned slice must not be modified.
+func (ix *Index) Lookup(key string) []Row { return ix.m[key] }
+
+// Cols returns the indexed column offsets.
+func (ix *Index) Cols() []int { return ix.cols }
+
+func (ix *Index) add(row Row) {
+	k := EncodeRowCols(row, ix.cols)
+	ix.m[k] = append(ix.m[k], row)
+}
+
+func (ix *Index) remove(row Row, pkCols []int) {
+	k := EncodeRowCols(row, ix.cols)
+	bucket := ix.m[k]
+	pk := EncodeRowCols(row, pkCols)
+	for i, r := range bucket {
+		if EncodeRowCols(r, pkCols) == pk {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(ix.m, k)
+	} else {
+		ix.m[k] = bucket
+	}
+}
+
+// Table is an in-memory base table with a unique non-null key (the paper's
+// standing assumption) and any number of secondary hash indexes.
+type Table struct {
+	name    string
+	schema  Schema
+	keyCols []int
+	rows    map[string]Row
+	indexes []*Index
+	fks     []ForeignKey
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema. Callers must not modify it.
+func (t *Table) Schema() Schema { return t.schema }
+
+// KeyCols returns the offsets of the unique key columns.
+func (t *Table) KeyCols() []int { return t.keyCols }
+
+// ForeignKeys returns the declared outbound foreign keys.
+func (t *Table) ForeignKeys() []ForeignKey { return t.fks }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns all rows in unspecified order. The result is a fresh slice;
+// the rows themselves are shared and must not be modified.
+func (t *Table) Rows() []Row {
+	out := make([]Row, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Get returns the row with the given key values, if present.
+func (t *Table) Get(keyVals ...Value) (Row, bool) {
+	r, ok := t.rows[EncodeValues(keyVals...)]
+	return r, ok
+}
+
+// GetEncoded returns the row with the given pre-encoded key, if present.
+func (t *Table) GetEncoded(encodedKey string) (Row, bool) {
+	r, ok := t.rows[encodedKey]
+	return r, ok
+}
+
+// ContainsKey reports whether a row with the encoded key exists.
+func (t *Table) ContainsKey(encodedKey string) bool {
+	_, ok := t.rows[encodedKey]
+	return ok
+}
+
+// KeyOf returns the encoded unique key of a row of this table.
+func (t *Table) KeyOf(row Row) string { return EncodeRowCols(row, t.keyCols) }
+
+// IndexOn returns an index whose column set equals cols (order-sensitive),
+// or nil. The unique key is always available through KeyIndex semantics via
+// Get; IndexOn only searches secondary indexes.
+func (t *Table) IndexOn(cols []int) *Index {
+	for _, ix := range t.indexes {
+		if equalInts(ix.cols, cols) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// IndexOnSet returns an index whose column set equals cols as a set, along
+// with the index, or nil when no such index exists.
+func (t *Table) IndexOnSet(cols []int) *Index {
+	for _, ix := range t.indexes {
+		if sameIntSet(ix.cols, cols) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// CreateIndex builds a secondary hash index over the named columns.
+func (t *Table) CreateIndex(name string, cols ...string) (*Index, error) {
+	offsets := make([]int, len(cols))
+	for i, c := range cols {
+		p := t.schema.IndexOf(t.name, c)
+		if p < 0 {
+			return nil, fmt.Errorf("rel: table %s: index column %s does not exist", t.name, c)
+		}
+		offsets[i] = p
+	}
+	ix := &Index{name: name, cols: offsets, m: make(map[string][]Row)}
+	for _, r := range t.rows {
+		ix.add(r)
+	}
+	t.indexes = append(t.indexes, ix)
+	return ix, nil
+}
+
+func (t *Table) validateRow(row Row) error {
+	if len(row) != len(t.schema) {
+		return fmt.Errorf("rel: table %s: row has %d values, schema has %d columns", t.name, len(row), len(t.schema))
+	}
+	for i, c := range t.schema {
+		v := row[i]
+		if v.IsNull() {
+			if c.NotNull {
+				return fmt.Errorf("rel: table %s: NULL in NOT NULL column %s", t.name, c.Name)
+			}
+			continue
+		}
+		if v.Kind() != c.Kind && !(numericKind(v.Kind()) && numericKind(c.Kind)) {
+			return fmt.Errorf("rel: table %s: column %s: expected %s, got %s", t.name, c.Name, c.Kind, v.Kind())
+		}
+	}
+	return nil
+}
+
+func (t *Table) insert(row Row) error {
+	if err := t.validateRow(row); err != nil {
+		return err
+	}
+	k := t.KeyOf(row)
+	if _, dup := t.rows[k]; dup {
+		return fmt.Errorf("rel: table %s: duplicate key %v", t.name, row.Project(t.keyCols))
+	}
+	// Store a private copy: callers remain free to reuse or mutate their
+	// row slices after Insert returns.
+	row = row.Clone()
+	t.rows[k] = row
+	for _, ix := range t.indexes {
+		ix.add(row)
+	}
+	return nil
+}
+
+func (t *Table) deleteByKey(k string) (Row, bool) {
+	row, ok := t.rows[k]
+	if !ok {
+		return nil, false
+	}
+	delete(t.rows, k)
+	for _, ix := range t.indexes {
+		ix.remove(row, t.keyCols)
+	}
+	return row, true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameIntSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		if !seen[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	_, err := c.CreateTable("dept",
+		[]Column{{Name: "id", Kind: KindInt}, {Name: "name", Kind: KindString}},
+		"id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.CreateTable("emp",
+		[]Column{
+			{Name: "id", Kind: KindInt},
+			{Name: "dept_id", Kind: KindInt, NotNull: true},
+			{Name: "salary", Kind: KindFloat},
+		},
+		"id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.CreateTable("t", []Column{{Name: "a", Kind: KindInt}}); err == nil {
+		t.Error("table without key must be rejected")
+	}
+	if _, err := c.CreateTable("t", []Column{{Name: "a", Kind: KindInt}}, "b"); err == nil {
+		t.Error("key over missing column must be rejected")
+	}
+	if _, err := c.CreateTable("t", []Column{{Name: "a", Kind: KindInt}}, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("t", []Column{{Name: "a", Kind: KindInt}}, "a"); err == nil {
+		t.Error("duplicate table must be rejected")
+	}
+	// Key column becomes NOT NULL.
+	sch, _ := c.TableSchema("t")
+	if !sch[0].NotNull {
+		t.Error("key column should be NOT NULL")
+	}
+}
+
+func TestInsertAndGet(t *testing.T) {
+	c := mkCatalog(t)
+	err := c.Insert("dept", []Row{
+		{Int(1), Str("eng")},
+		{Int(2), Str("sales")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Table("dept")
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	row, ok := d.Get(Int(1))
+	if !ok || !row[1].Equal(Str("eng")) {
+		t.Fatalf("Get(1) = %v, %v", row, ok)
+	}
+	if _, ok := d.Get(Int(99)); ok {
+		t.Error("Get(99) should miss")
+	}
+}
+
+func TestInsertRejectsDuplicateKey(t *testing.T) {
+	c := mkCatalog(t)
+	if err := c.Insert("dept", []Row{{Int(1), Str("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("dept", []Row{{Int(1), Str("b")}}); err == nil {
+		t.Error("duplicate key across batches must be rejected")
+	}
+	err := c.Insert("dept", []Row{{Int(2), Str("a")}, {Int(2), Str("b")}})
+	if err == nil {
+		t.Error("duplicate key within a batch must be rejected")
+	}
+	if c.Table("dept").Len() != 1 {
+		t.Error("failed batch must not be partially applied")
+	}
+}
+
+func TestInsertRejectsBadRows(t *testing.T) {
+	c := mkCatalog(t)
+	if err := c.Insert("dept", []Row{{Int(1)}}); err == nil {
+		t.Error("short row must be rejected")
+	}
+	if err := c.Insert("dept", []Row{{Null, Str("x")}}); err == nil {
+		t.Error("NULL key must be rejected")
+	}
+	if err := c.Insert("dept", []Row{{Str("k"), Str("x")}}); err == nil {
+		t.Error("kind mismatch must be rejected")
+	}
+	if err := c.Insert("dept", []Row{{Int(1), Null}}); err != nil {
+		t.Errorf("NULL in nullable column must be accepted: %v", err)
+	}
+	if err := c.Insert("nosuch", []Row{{Int(1)}}); err == nil {
+		t.Error("unknown table must be rejected")
+	}
+}
+
+func TestForeignKeyEnforcement(t *testing.T) {
+	c := mkCatalog(t)
+	if err := c.Insert("dept", []Row{{Int(1), Str("eng")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddForeignKey("emp", []string{"dept_id"}, "dept", []string{"id"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("emp", []Row{{Int(10), Int(1), Float(100)}}); err != nil {
+		t.Fatalf("valid FK insert rejected: %v", err)
+	}
+	if err := c.Insert("emp", []Row{{Int(11), Int(99), Float(100)}}); err == nil {
+		t.Error("dangling FK insert must be rejected")
+	}
+	// RESTRICT: referenced dept cannot be deleted.
+	if _, err := c.Delete("dept", [][]Value{{Int(1)}}); err == nil {
+		t.Error("delete of referenced row must be rejected")
+	}
+	// Delete child first, then parent.
+	if _, err := c.Delete("emp", [][]Value{{Int(10)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("dept", [][]Value{{Int(1)}}); err != nil {
+		t.Fatalf("delete after child removal: %v", err)
+	}
+}
+
+func TestForeignKeyDeclarationValidation(t *testing.T) {
+	c := mkCatalog(t)
+	if err := c.AddForeignKey("emp", []string{"dept_id"}, "dept", []string{"name"}); err == nil {
+		t.Error("FK must reference the unique key")
+	}
+	if err := c.AddForeignKey("emp", []string{"salary"}, "dept", []string{"id"}); err == nil {
+		t.Error("nullable FK column must be rejected")
+	}
+	if err := c.AddForeignKey("emp", []string{"nosuch"}, "dept", []string{"id"}); err == nil {
+		t.Error("missing FK column must be rejected")
+	}
+	if err := c.AddForeignKey("nosuch", []string{"x"}, "dept", []string{"id"}); err == nil {
+		t.Error("unknown table must be rejected")
+	}
+	// Declaring an FK over data that violates it must fail.
+	if err := c.Insert("emp", []Row{{Int(1), Int(42), Null}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddForeignKey("emp", []string{"dept_id"}, "dept", []string{"id"}); err == nil {
+		t.Error("FK violated by existing rows must be rejected")
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	c := mkCatalog(t)
+	if err := c.Insert("dept", []Row{{Int(1), Str("eng")}, {Int(2), Str("eng")}, {Int(3), Str("ops")}}); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Table("dept")
+	ix, err := d.CreateIndex("by_name", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.Lookup(EncodeValues(Str("eng")))); got != 2 {
+		t.Errorf("eng bucket = %d rows, want 2", got)
+	}
+	// Index maintained under insert and delete.
+	if err := c.Insert("dept", []Row{{Int(4), Str("eng")}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.Lookup(EncodeValues(Str("eng")))); got != 3 {
+		t.Errorf("after insert: eng bucket = %d rows, want 3", got)
+	}
+	if _, err := c.Delete("dept", [][]Value{{Int(2)}, {Int(4)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ix.Lookup(EncodeValues(Str("eng")))); got != 1 {
+		t.Errorf("after delete: eng bucket = %d rows, want 1", got)
+	}
+	if got := len(ix.Lookup(EncodeValues(Str("ops")))); got != 1 {
+		t.Errorf("ops bucket = %d rows, want 1", got)
+	}
+	if d.IndexOn([]int{1}) != ix {
+		t.Error("IndexOn should find the index")
+	}
+	if d.IndexOn([]int{0}) != nil {
+		t.Error("IndexOn should miss for unindexed columns")
+	}
+}
+
+func TestInsertCopiesRows(t *testing.T) {
+	c := mkCatalog(t)
+	row := Row{Int(1), Str("eng")}
+	if err := c.Insert("dept", []Row{row}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's slice after Insert must not corrupt storage.
+	row[1] = Str("hacked")
+	got, _ := c.Table("dept").Get(Int(1))
+	if !got[1].Equal(Str("eng")) {
+		t.Errorf("stored row shares caller memory: %v", got)
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	c := mkCatalog(t)
+	if err := c.Insert("dept", []Row{{Int(1), Str("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("dept", [][]Value{{Int(9)}}); err == nil {
+		t.Error("delete of missing key must be rejected")
+	}
+	if _, err := c.Delete("dept", [][]Value{{Int(1), Int(2)}}); err == nil {
+		t.Error("key arity mismatch must be rejected")
+	}
+	rows, err := c.Delete("dept", [][]Value{{Int(1)}})
+	if err != nil || len(rows) != 1 || !rows[0][1].Equal(Str("a")) {
+		t.Fatalf("Delete = %v, %v", rows, err)
+	}
+	if c.Table("dept").Len() != 0 {
+		t.Error("row not removed")
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	sch := Schema{
+		{Table: "t", Name: "a", Kind: KindInt},
+		{Table: "t", Name: "b", Kind: KindInt},
+		{Table: "u", Name: "c", Kind: KindInt},
+	}
+	row := Row{Int(1), Null, Int(3)}
+	if !row.NullExtendedOn(sch, "nosuch") {
+		t.Error("vacuously null-extended on absent table")
+	}
+	if row.NullExtendedOn(sch, "t") {
+		t.Error("t has a non-null column")
+	}
+	r2 := Row{Null, Null, Int(3)}
+	if !r2.NullExtendedOn(sch, "t") {
+		t.Error("all t columns NULL ⇒ null-extended")
+	}
+	if p := row.Project([]int{2, 0}); !p.Equal(Row{Int(3), Int(1)}) {
+		t.Errorf("Project = %v", p)
+	}
+	cl := row.Clone()
+	cl[0] = Int(9)
+	if row[0].Equal(Int(9)) {
+		t.Error("Clone must copy")
+	}
+	if sch.String() != "(t.a, t.b, u.c)" {
+		t.Errorf("Schema.String = %s", sch.String())
+	}
+}
+
+func TestSchemaOps(t *testing.T) {
+	a := Schema{{Table: "t", Name: "x", Kind: KindInt}}
+	b := Schema{{Table: "u", Name: "y", Kind: KindInt}}
+	cc := a.Concat(b)
+	if len(cc) != 2 || cc.IndexOf("u", "y") != 1 {
+		t.Errorf("Concat = %v", cc)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Concat with duplicate column must panic")
+		}
+	}()
+	_ = a.Concat(a)
+}
+
+func TestSchemaUnionAndTables(t *testing.T) {
+	a := Schema{{Table: "t", Name: "x"}, {Table: "u", Name: "y"}}
+	b := Schema{{Table: "u", Name: "y"}, {Table: "v", Name: "z"}}
+	u := a.Union(b)
+	if len(u) != 3 {
+		t.Errorf("Union = %v", u)
+	}
+	tabs := u.Tables()
+	if strings.Join(tabs, ",") != "t,u,v" {
+		t.Errorf("Tables = %v", tabs)
+	}
+	if cols := u.TableColumns("u"); len(cols) != 1 || cols[0] != 1 {
+		t.Errorf("TableColumns(u) = %v", cols)
+	}
+}

@@ -1,0 +1,276 @@
+// Package rel provides the relational substrate used by the outer-join view
+// maintenance engine: typed values with SQL NULL semantics, schemas, rows,
+// base tables with unique keys and secondary indexes, and a catalog with
+// foreign-key constraints.
+//
+// The substrate implements exactly the storage model the paper assumes:
+// every base table has a unique, non-null key; foreign keys are declared,
+// enforced, and visible to the maintenance planner.
+package rel
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// Supported value kinds. KindNull is the kind of the SQL NULL marker.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+//
+// Dates are stored as days since 1970-01-01 in the integer payload so that
+// date comparison is integer comparison.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null is the SQL NULL marker.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Date returns a date value for the given day offset from 1970-01-01.
+func Date(daysSinceEpoch int64) Value { return Value{kind: KindDate, i: daysSinceEpoch} }
+
+// ParseDate parses a YYYY-MM-DD string into a date value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null, fmt.Errorf("rel: parse date %q: %w", s, err)
+	}
+	return Date(t.Unix() / 86400), nil
+}
+
+// MustDate is ParseDate that panics on malformed input; intended for
+// literals in tests and fixtures.
+func MustDate(s string) Value {
+	v, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Kind reports the value's kind. NULL values report KindNull.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics unless the value is an
+// integer, boolean or date.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt, KindBool, KindDate:
+		return v.i
+	default:
+		panic(fmt.Sprintf("rel: AsInt on %s value", v.kind))
+	}
+}
+
+// AsFloat returns the value as float64, coercing integers.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("rel: AsFloat on %s value", v.kind))
+	}
+}
+
+// AsString returns the string payload. It panics unless the value is a
+// string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("rel: AsString on %s value", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics unless the value is a
+// boolean.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("rel: AsBool on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// String renders the value for diagnostics and tools.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindDate:
+		return time.Unix(v.i*86400, 0).UTC().Format("2006-01-02")
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// numericKind reports whether the kind participates in numeric coercion.
+func numericKind(k Kind) bool { return k == KindInt || k == KindFloat }
+
+// Compare compares two non-null values. It returns (-1|0|+1, true) when the
+// values are comparable and (0, false) when either value is NULL or the
+// kinds are incompatible. Integers and floats compare numerically.
+func Compare(a, b Value) (int, bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	if a.kind != b.kind {
+		if numericKind(a.kind) && numericKind(b.kind) {
+			return cmpFloat(a.AsFloat(), b.AsFloat()), true
+		}
+		return 0, false
+	}
+	switch a.kind {
+	case KindInt, KindBool, KindDate:
+		return cmpInt(a.i, b.i), true
+	case KindFloat:
+		return cmpFloat(a.f, b.f), true
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1, true
+		case a.s > b.s:
+			return 1, true
+		default:
+			return 0, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports whether two values are identical, treating NULL as equal to
+// NULL. This is tuple identity (used by duplicate elimination and keys), not
+// SQL predicate equality.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		if numericKind(v.kind) && numericKind(o.kind) {
+			return v.AsFloat() == o.AsFloat()
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindInt, KindBool, KindDate:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindString:
+		return v.s == o.s
+	default:
+		return false
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Add returns the numeric sum of two values; NULL if either is NULL.
+// Integer+integer stays integer, otherwise the result is a float.
+func Add(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return Int(a.i + b.i)
+	}
+	return Float(a.AsFloat() + b.AsFloat())
+}
+
+// Sub returns a-b with the same coercion rules as Add.
+func Sub(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return Int(a.i - b.i)
+	}
+	return Float(a.AsFloat() - b.AsFloat())
+}

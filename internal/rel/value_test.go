@@ -1,0 +1,189 @@
+package rel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "NULL"},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("abc"), KindString, "abc"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{MustDate("1994-06-01"), KindDate, "1994-06-01"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, err := ParseDate("1970-01-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 1 {
+		t.Errorf("1970-01-02 = day %d, want 1", v.AsInt())
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("expected error for malformed date")
+	}
+	a := MustDate("1994-06-01")
+	b := MustDate("1994-12-31")
+	if c, ok := Compare(a, b); !ok || c >= 0 {
+		t.Errorf("date compare: got (%d,%v)", c, ok)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Float(1.5), Float(2.5), -1, true},
+		{Int(2), Float(2.0), 0, true},
+		{Float(2.5), Int(2), 1, true},
+		{Str("a"), Str("b"), -1, true},
+		{Str("b"), Str("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Null, Int(1), 0, false},
+		{Int(1), Null, 0, false},
+		{Null, Null, 0, false},
+		{Str("1"), Int(1), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := Compare(c.a, c.b)
+		if ok != c.ok || (ok && got != c.cmp) {
+			t.Errorf("Compare(%v,%v) = (%d,%v), want (%d,%v)", c.a, c.b, got, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Null.Equal(Null) {
+		t.Error("NULL must Equal NULL (tuple identity)")
+	}
+	if Null.Equal(Int(0)) || Int(0).Equal(Null) {
+		t.Error("NULL must not Equal 0")
+	}
+	if !Int(2).Equal(Float(2.0)) || !Float(2.0).Equal(Int(2)) {
+		t.Error("numeric coercion in Equal")
+	}
+	if Int(2).Equal(Str("2")) {
+		t.Error("cross-kind equality")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Add(Int(2), Int(3)); !got.Equal(Int(5)) {
+		t.Errorf("Add int = %v", got)
+	}
+	if got := Add(Int(2), Float(0.5)); !got.Equal(Float(2.5)) {
+		t.Errorf("Add mixed = %v", got)
+	}
+	if !Add(Null, Int(1)).IsNull() || !Add(Int(1), Null).IsNull() {
+		t.Error("Add with NULL must be NULL")
+	}
+	if got := Sub(Int(5), Int(3)); !got.Equal(Int(2)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if !Sub(Null, Null).IsNull() {
+		t.Error("Sub with NULL must be NULL")
+	}
+}
+
+// randomValue generates an arbitrary value, including NULL.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return Int(int64(r.Intn(20) - 10))
+	case 2:
+		return Float(float64(r.Intn(40))/4 - 5)
+	case 3:
+		return Str(string(rune('a' + r.Intn(5))))
+	case 4:
+		return Bool(r.Intn(2) == 0)
+	default:
+		return Date(int64(r.Intn(1000)))
+	}
+}
+
+func TestQuickEncodeInjective(t *testing.T) {
+	// EncodeValues must agree with Equal: equal values encode identically and
+	// unequal values encode differently.
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomValue(r))
+			vals[1] = reflect.ValueOf(randomValue(r))
+		},
+	}
+	prop := func(a, b Value) bool {
+		return a.Equal(b) == (EncodeValues(a) == EncodeValues(b))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomValue(r))
+			vals[1] = reflect.ValueOf(randomValue(r))
+		},
+	}
+	prop := func(a, b Value) bool {
+		ab, ok1 := Compare(a, b)
+		ba, ok2 := Compare(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeSequenceBoundaries(t *testing.T) {
+	// Concatenation attacks: ("ab","c") must differ from ("a","bc").
+	if EncodeValues(Str("ab"), Str("c")) == EncodeValues(Str("a"), Str("bc")) {
+		t.Error("string encoding is not length-prefixed")
+	}
+	// NULL in sequence keeps positions distinguishable.
+	if EncodeValues(Null, Int(1)) == EncodeValues(Int(1), Null) {
+		t.Error("NULL position not encoded")
+	}
+	if EncodeValues(Int(2)) != EncodeValues(Float(2.0)) {
+		t.Error("integral float must encode like the integer (Equal-consistent)")
+	}
+}

@@ -1,0 +1,74 @@
+package tpch
+
+import (
+	"testing"
+
+	"ojv/internal/view"
+)
+
+// TestCoreViewMaintenance checks the inner-join core view (the paper's
+// comparison baseline) against the oracle under the same lineitem churn as
+// the outer-join view, and confirms the structural difference: the core
+// view has a single term, so no update ever needs orphan cleanup.
+func TestCoreViewMaintenance(t *testing.T) {
+	db := genSmall(t)
+	def, err := view.Define(db.Catalog, "V3core", V3CoreExpr(), V3Output())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(def.NormalForm().Terms); got != 1 {
+		t.Fatalf("core view has %d terms, want 1", got)
+	}
+	m, err := view.NewMaintainer(def, view.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatal(err)
+	}
+	rows := db.NewLineitems(150)
+	if err := db.Catalog.Insert("lineitem", rows); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.OnInsert("lineitem", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndirectTerms != 0 || st.SecondaryRows != 0 {
+		t.Errorf("core view must have no secondary delta: %+v", st)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatal(err)
+	}
+	keys := db.SampleLineitemKeys(200)
+	deleted, err := db.Catalog.Delete("lineitem", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OnDelete("lineitem", deleted); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting customers or parts cannot affect the inner-join view at
+	// all: every term requires a joining lineitem, and foreign keys
+	// guarantee new customers/parts have none.
+	cRows := db.NewCustomers(10)
+	if err := db.Catalog.Insert("customer", cRows); err != nil {
+		t.Fatal(err)
+	}
+	st, err = m.OnInsert("customer", cRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PrimaryRows != 0 {
+		t.Errorf("customer insert must not touch the core view: %+v", st)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package tpch provides a deterministic generator for the TPC-H subset the
+// paper's experiments use — customer, orders, lineitem and part — plus the
+// experimental views of Section 7 (V3 and its inner-join "core view") and
+// Example 1's oj_view.
+//
+// The generator preserves the structure the experiments depend on:
+// cardinality ratios (150k customers : 1.5M orders : ~6M lineitems : 200k
+// parts per scale factor), the primary keys and declared foreign keys
+// (lineitem→orders, lineitem→part, orders→customer), TPC-H's
+// o_orderdate range (1992-01-01..1998-08-02, of which V3's selection keeps
+// roughly seven months) and retail price range (so p_retailprice<2000 keeps
+// most but not all parts), and the "customers without orders" population
+// (only 7 in 8 customer keys receive orders). Absolute row counts are
+// scaled down by the scale factor; the experiments compare relative costs,
+// which survive scaling.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ojv/internal/rel"
+)
+
+// Config controls generation.
+type Config struct {
+	// ScaleFactor scales the TPC-H base cardinalities. The paper runs SF=1
+	// (≈6M lineitems); the default here is 0.01 (≈60k lineitems), which
+	// preserves every ratio the experiments depend on.
+	ScaleFactor float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Cardinalities of TPC-H at scale factor 1.
+const (
+	customersPerSF = 150000
+	ordersPerSF    = 1500000
+	partsPerSF     = 200000
+)
+
+// DB is a generated TPC-H database.
+type DB struct {
+	Catalog *rel.Catalog
+	Config  Config
+	// NextLinenumber returns a fresh line number for an order, for
+	// fabricating FK-valid lineitem inserts.
+	nextLine map[int64]int64
+	rng      *rand.Rand
+	orders   int
+	parts    int
+}
+
+var (
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	returnFlags = []string{"R", "A", "N"}
+	partTypes   = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+)
+
+// dateEpoch numbers: TPC-H order dates span 1992-01-01 to 1998-08-02.
+var (
+	dateLo = rel.MustDate("1992-01-01").AsInt()
+	dateHi = rel.MustDate("1998-08-02").AsInt()
+)
+
+// Generate builds and loads a TPC-H database with the paper's indexes and
+// foreign keys.
+func Generate(cfg Config) (*DB, error) {
+	if cfg.ScaleFactor <= 0 {
+		cfg.ScaleFactor = 0.01
+	}
+	nCustomers := scale(customersPerSF, cfg.ScaleFactor)
+	nOrders := scale(ordersPerSF, cfg.ScaleFactor)
+	nParts := scale(partsPerSF, cfg.ScaleFactor)
+
+	cat := rel.NewCatalog()
+	if err := createSchema(cat); err != nil {
+		return nil, err
+	}
+	db := &DB{Catalog: cat, Config: cfg, nextLine: make(map[int64]int64), rng: rand.New(rand.NewSource(cfg.Seed)), orders: nOrders, parts: nParts}
+
+	var rows []rel.Row
+	for i := 1; i <= nCustomers; i++ {
+		rows = append(rows, rel.Row{
+			rel.Int(int64(i)),
+			rel.Str(fmt.Sprintf("Customer#%09d", i)),
+			rel.Int(db.rng.Int63n(25)),
+			rel.Str(segments[db.rng.Intn(len(segments))]),
+			rel.Float(float64(db.rng.Intn(1000000)) / 100),
+		})
+	}
+	if err := cat.Insert("customer", rows); err != nil {
+		return nil, err
+	}
+
+	rows = rows[:0]
+	for i := 1; i <= nParts; i++ {
+		// Scale-invariant analogue of TPC-H's retail price formula: prices
+		// span 900..~2100 with roughly 1 part in 40 priced at 2000 or more,
+		// so V3's p_retailprice<2000 predicate keeps ~97.5% of parts at any
+		// scale factor — the COL/COLP ratio of the paper's Table 1.
+		price := 900 + float64((i*7919)%1000)
+		if i%40 == 0 {
+			price += 1150
+		}
+		rows = append(rows, rel.Row{
+			rel.Int(int64(i)),
+			rel.Str(fmt.Sprintf("Part#%09d", i)),
+			rel.Str(partTypes[db.rng.Intn(len(partTypes))]),
+			rel.Float(price),
+		})
+	}
+	if err := cat.Insert("part", rows); err != nil {
+		return nil, err
+	}
+
+	rows = rows[:0]
+	for i := 1; i <= nOrders; i++ {
+		rows = append(rows, rel.Row{
+			rel.Int(int64(i)),
+			rel.Int(db.randCustkey(nCustomers)),
+			rel.Date(dateLo + db.rng.Int63n(dateHi-dateLo+1)),
+			rel.Str(fmt.Sprintf("Clerk#%06d", db.rng.Intn(1000))),
+			rel.Str([]string{"O", "F", "P"}[db.rng.Intn(3)]),
+		})
+	}
+	if err := cat.Insert("orders", rows); err != nil {
+		return nil, err
+	}
+
+	rows = rows[:0]
+	for o := 1; o <= nOrders; o++ {
+		n := 1 + db.rng.Intn(7)
+		db.nextLine[int64(o)] = int64(n) + 1
+		for l := 1; l <= n; l++ {
+			rows = append(rows, db.lineitemRow(int64(o), int64(l)))
+		}
+	}
+	if err := cat.Insert("lineitem", rows); err != nil {
+		return nil, err
+	}
+
+	if err := cat.AddForeignKey("orders", []string{"o_custkey"}, "customer", []string{"c_custkey"}); err != nil {
+		return nil, err
+	}
+	if err := cat.AddForeignKey("lineitem", []string{"l_orderkey"}, "orders", []string{"o_orderkey"}); err != nil {
+		return nil, err
+	}
+	if err := cat.AddForeignKey("lineitem", []string{"l_partkey"}, "part", []string{"p_partkey"}); err != nil {
+		return nil, err
+	}
+	// The FK declarations above created indexes on o_custkey, l_orderkey
+	// and l_partkey, which are exactly the probe paths maintenance needs;
+	// the primary keys cover the rest.
+	return db, nil
+}
+
+func scale(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// randCustkey picks an order's customer: TPC-H leaves one customer key in
+// eight without orders (the spec skips keys ≡ 0 mod 3 out of 3; we use 1/8
+// to keep the orphan-customer population that feeds V3's C term while
+// retaining realistic orders-per-customer).
+func (db *DB) randCustkey(nCustomers int) int64 {
+	for {
+		k := 1 + db.rng.Int63n(int64(nCustomers))
+		if k%8 != 0 {
+			return k
+		}
+	}
+}
+
+func (db *DB) lineitemRow(orderkey, linenumber int64) rel.Row {
+	qty := 1 + db.rng.Int63n(50)
+	partkey := 1 + db.rng.Int63n(int64(db.parts))
+	return rel.Row{
+		rel.Int(orderkey),
+		rel.Int(linenumber),
+		rel.Int(partkey),
+		rel.Int(qty),
+		rel.Float(float64(qty) * (900 + float64(db.rng.Intn(120000))/100)),
+		rel.Date(dateLo + db.rng.Int63n(dateHi-dateLo+121)),
+		rel.Str(returnFlags[db.rng.Intn(len(returnFlags))]),
+	}
+}
+
+func createSchema(cat *rel.Catalog) error {
+	if _, err := cat.CreateTable("customer", []rel.Column{
+		{Name: "c_custkey", Kind: rel.KindInt},
+		{Name: "c_name", Kind: rel.KindString},
+		{Name: "c_nationkey", Kind: rel.KindInt},
+		{Name: "c_mktsegment", Kind: rel.KindString},
+		{Name: "c_acctbal", Kind: rel.KindFloat},
+	}, "c_custkey"); err != nil {
+		return err
+	}
+	if _, err := cat.CreateTable("orders", []rel.Column{
+		{Name: "o_orderkey", Kind: rel.KindInt},
+		{Name: "o_custkey", Kind: rel.KindInt, NotNull: true},
+		{Name: "o_orderdate", Kind: rel.KindDate},
+		{Name: "o_clerk", Kind: rel.KindString},
+		{Name: "o_orderstatus", Kind: rel.KindString},
+	}, "o_orderkey"); err != nil {
+		return err
+	}
+	if _, err := cat.CreateTable("lineitem", []rel.Column{
+		{Name: "l_orderkey", Kind: rel.KindInt, NotNull: true},
+		{Name: "l_linenumber", Kind: rel.KindInt},
+		{Name: "l_partkey", Kind: rel.KindInt, NotNull: true},
+		{Name: "l_quantity", Kind: rel.KindInt},
+		{Name: "l_extendedprice", Kind: rel.KindFloat},
+		{Name: "l_shipdate", Kind: rel.KindDate},
+		{Name: "l_returnflag", Kind: rel.KindString},
+	}, "l_orderkey", "l_linenumber"); err != nil {
+		return err
+	}
+	if _, err := cat.CreateTable("part", []rel.Column{
+		{Name: "p_partkey", Kind: rel.KindInt},
+		{Name: "p_name", Kind: rel.KindString},
+		{Name: "p_type", Kind: rel.KindString},
+		{Name: "p_retailprice", Kind: rel.KindFloat},
+	}, "p_partkey"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NewLineitems fabricates n foreign-key-valid lineitem rows referencing
+// random existing orders and parts, with fresh line numbers.
+func (db *DB) NewLineitems(n int) []rel.Row {
+	rows := make([]rel.Row, 0, n)
+	for i := 0; i < n; i++ {
+		o := 1 + db.rng.Int63n(int64(db.orders))
+		l := db.nextLine[o]
+		if l == 0 {
+			l = 100
+		}
+		db.nextLine[o] = l + 1
+		rows = append(rows, db.lineitemRow(o, l))
+	}
+	return rows
+}
+
+// SampleLineitemKeys returns n deterministically sampled existing lineitem
+// keys for deletion and holdout workloads. Sampling proceeds by whole
+// orders (all line items of a randomly chosen order at a time), mirroring
+// the TPC-H refresh streams: batches arrive and depart as complete order
+// line sets, which is what makes insertions de-orphan customer and part
+// tuples (Table 1's C and P rows) and deletions re-orphan them.
+func (db *DB) SampleLineitemKeys(n int) [][]rel.Value {
+	t := db.Catalog.Table("lineitem")
+	keys := make([][]rel.Value, 0, n)
+	visited := make(map[int64]bool)
+	for len(keys) < n && len(visited) < db.orders {
+		o := 1 + db.rng.Int63n(int64(db.orders))
+		if visited[o] {
+			continue
+		}
+		visited[o] = true
+		for l := int64(1); ; l++ {
+			row, ok := t.Get(rel.Int(o), rel.Int(l))
+			if !ok {
+				break
+			}
+			keys = append(keys, row.Project(t.KeyCols()))
+			if len(keys) == n {
+				break
+			}
+		}
+	}
+	return keys
+}
+
+// HoldOutLineitems removes n deterministically sampled lineitem rows from
+// the loaded database and returns them. This prepares the paper's insertion
+// workload: the held-out rows are inserted back during the measured
+// maintenance run, so the insertion genuinely re-orphans and de-orphans
+// customer and part tuples (Table 1's C and P "rows affected").
+func (db *DB) HoldOutLineitems(n int) ([]rel.Row, error) {
+	keys := db.SampleLineitemKeys(n)
+	return db.Catalog.Delete("lineitem", keys)
+}
+
+// NewCustomers fabricates n new customer rows with fresh keys.
+func (db *DB) NewCustomers(n int) []rel.Row {
+	t := db.Catalog.Table("customer")
+	base := int64(t.Len()*10 + 1000000)
+	rows := make([]rel.Row, 0, n)
+	for i := 0; i < n; i++ {
+		k := base + int64(i)
+		rows = append(rows, rel.Row{
+			rel.Int(k),
+			rel.Str(fmt.Sprintf("Customer#%09d", k)),
+			rel.Int(db.rng.Int63n(25)),
+			rel.Str(segments[db.rng.Intn(len(segments))]),
+			rel.Float(float64(db.rng.Intn(1000000)) / 100),
+		})
+	}
+	return rows
+}
+
+// NewParts fabricates n new part rows with fresh keys.
+func (db *DB) NewParts(n int) []rel.Row {
+	t := db.Catalog.Table("part")
+	base := int64(t.Len()*10 + 1000000)
+	rows := make([]rel.Row, 0, n)
+	for i := 0; i < n; i++ {
+		k := base + int64(i)
+		rows = append(rows, rel.Row{
+			rel.Int(k),
+			rel.Str(fmt.Sprintf("Part#%09d", k)),
+			rel.Str(partTypes[db.rng.Intn(len(partTypes))]),
+			rel.Float(900 + float64(db.rng.Intn(120000))/100),
+		})
+	}
+	return rows
+}

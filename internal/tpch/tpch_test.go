@@ -1,0 +1,264 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"ojv/internal/rel"
+	"ojv/internal/view"
+)
+
+func genSmall(t testing.TB) *DB {
+	t.Helper()
+	db, err := Generate(Config{ScaleFactor: 0.002, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	db := genSmall(t)
+	c := db.Catalog
+	if got := c.Table("customer").Len(); got != 300 {
+		t.Errorf("customers = %d, want 300", got)
+	}
+	if got := c.Table("orders").Len(); got != 3000 {
+		t.Errorf("orders = %d, want 3000", got)
+	}
+	if got := c.Table("part").Len(); got != 400 {
+		t.Errorf("parts = %d, want 400", got)
+	}
+	l := c.Table("lineitem").Len()
+	if l < 3000 || l > 21000 {
+		t.Errorf("lineitems = %d, want 1..7 per order", l)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genSmall(t)
+	b := genSmall(t)
+	if a.Catalog.Table("lineitem").Len() != b.Catalog.Table("lineitem").Len() {
+		t.Error("generation is not deterministic")
+	}
+	ra := a.Catalog.Table("orders").Rows()
+	rel.SortRows(ra)
+	rb := b.Catalog.Table("orders").Rows()
+	rel.SortRows(rb)
+	for i := range ra {
+		if !ra[i].Equal(rb[i]) {
+			t.Fatalf("row %d differs: %s vs %s", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestGenerateSomeCustomersHaveNoOrders(t *testing.T) {
+	db := genSmall(t)
+	used := make(map[int64]bool)
+	ot := db.Catalog.Table("orders")
+	ck := ot.Schema().MustIndexOf("orders", "o_custkey")
+	for _, r := range ot.Rows() {
+		used[r[ck].AsInt()] = true
+	}
+	orphans := 0
+	for _, r := range db.Catalog.Table("customer").Rows() {
+		if !used[r[0].AsInt()] {
+			orphans++
+		}
+	}
+	if orphans == 0 {
+		t.Error("expected some customers without orders (V3's C term)")
+	}
+}
+
+func TestV3NormalFormTerms(t *testing.T) {
+	db := genSmall(t)
+	def, err := view.Define(db.Catalog, "V3", V3Expr(), V3Output())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := def.NormalForm()
+	var keys []string
+	for _, term := range nf.Terms {
+		keys = append(keys, term.SourceKey())
+	}
+	// Table 1: terms COLP, COL, C, P.
+	want := "customer,lineitem,orders,part customer,lineitem,orders customer part"
+	if got := strings.Join(keys, " "); got != want {
+		t.Errorf("V3 terms = %q, want %q", got, want)
+	}
+}
+
+func TestV3MaintenanceGraphMatchesPaper(t *testing.T) {
+	db := genSmall(t)
+	def, err := view.Define(db.Catalog, "V3", V3Expr(), V3Output())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.NewMaintainer(def, view.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Because of the foreign key constraint between lineitem and orders,
+	// insertion or deletion of order rows does not affect the view."
+	plan, err := m.Plan("orders", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(plan.Graph().DirectTerms()) + len(plan.Graph().IndirectTerms()); n != 0 {
+		t.Errorf("orders updates should not affect V3; %d affected terms (%s)", n, plan.Graph())
+	}
+	// "When inserting (or deleting) customer rows ... we only need to add
+	// (or delete) the customer in the view."
+	planC, err := m.Plan("customer", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := planC.Graph().String(); got != "{customer}D" {
+		t.Errorf("customer graph = %q", got)
+	}
+	// "However, updating lineitem can affect all four terms."
+	planL, err := m.Plan("lineitem", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, i := len(planL.Graph().DirectTerms()), len(planL.Graph().IndirectTerms()); d != 2 || i != 2 {
+		t.Errorf("lineitem graph: direct=%d indirect=%d (%s), want 2 direct (COLP, COL) and 2 indirect (C, P)", d, i, planL.Graph())
+	}
+}
+
+func TestV3IncrementalMaintenance(t *testing.T) {
+	db := genSmall(t)
+	def, err := view.Define(db.Catalog, "V3", V3Expr(), V3Output())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.NewMaintainer(def, view.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatalf("initial: %v", err)
+	}
+	// Insert lineitems (the Figure 5(a) workload at small scale).
+	rows := db.NewLineitems(120)
+	if err := db.Catalog.Insert("lineitem", rows); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := m.OnInsert("lineitem", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatalf("after lineitem insert: %v", err)
+	}
+	if stats.PrimaryRows == 0 {
+		t.Error("no primary delta rows; the date window should catch some inserts")
+	}
+	// Insert customers: term-local.
+	cRows := db.NewCustomers(50)
+	if err := db.Catalog.Insert("customer", cRows); err != nil {
+		t.Fatal(err)
+	}
+	cStats, err := m.OnInsert("customer", cRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cStats.PrimaryRows != 50 || cStats.SecondaryRows != 0 {
+		t.Errorf("customer insert: primary=%d secondary=%d, want 50/0", cStats.PrimaryRows, cStats.SecondaryRows)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatalf("after customer insert: %v", err)
+	}
+	// Insert parts: term-local.
+	pRows := db.NewParts(50)
+	if err := db.Catalog.Insert("part", pRows); err != nil {
+		t.Fatal(err)
+	}
+	pStats, err := m.OnInsert("part", pRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pStats.PrimaryRows != 50 || pStats.SecondaryRows != 0 {
+		t.Errorf("part insert: primary=%d secondary=%d, want 50/0", pStats.PrimaryRows, pStats.SecondaryRows)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatalf("after part insert: %v", err)
+	}
+	// Delete lineitems (Figure 5(b) workload).
+	keys := db.SampleLineitemKeys(150)
+	deleted, err := db.Catalog.Delete("lineitem", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OnDelete("lineitem", deleted); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatalf("after lineitem delete: %v", err)
+	}
+}
+
+func TestOJViewMaintenance(t *testing.T) {
+	db := genSmall(t)
+	def, err := view.Define(db.Catalog, "oj_view", OJViewExpr(), OJViewOutput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The introduction's analysis: three tuple types.
+	if got := len(def.NormalForm().Terms); got != 3 {
+		t.Fatalf("oj_view has %d terms, want 3", got)
+	}
+	m, err := view.NewMaintainer(def, view.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting parts/orders is pure insertion of null-extended rows.
+	pRows := db.NewParts(20)
+	if err := db.Catalog.Insert("part", pRows); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.OnInsert("part", pRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SecondaryRows != 0 || st.IndirectTerms != 0 {
+		t.Errorf("part insert should be term-local: %+v", st)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatal(err)
+	}
+	// Inserting lineitems triggers the Example 1 orphan cleanup.
+	lRows := db.NewLineitems(200)
+	if err := db.Catalog.Insert("lineitem", lRows); err != nil {
+		t.Fatal(err)
+	}
+	st, err = m.OnInsert("lineitem", lRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndirectTerms != 2 {
+		t.Errorf("lineitem insert should clean up orders and part orphans: %+v", st)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatal(err)
+	}
+	// And deleting them recreates orphans.
+	keys := db.SampleLineitemKeys(300)
+	deleted, err := db.Catalog.Delete("lineitem", keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OnDelete("lineitem", deleted); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Check(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package tpch
+
+import (
+	"ojv/internal/algebra"
+	"ojv/internal/rel"
+)
+
+// V3DateLo and V3DateHi delimit V3's o_orderdate selection.
+var (
+	V3DateLo = rel.MustDate("1994-06-01")
+	V3DateHi = rel.MustDate("1994-12-31")
+)
+
+// V3Expr is the experimental view of Section 7:
+//
+//	((lineitem ⋈ σ[o_orderdate in 1994-06-01..1994-12-31] orders
+//	    on l_orderkey=o_orderkey)
+//	  right outer join customer on c_custkey=o_custkey)
+//	 full outer join part on l_partkey=p_partkey and p_retailprice<2000.
+func V3Expr() algebra.Expr {
+	return v3Shape(algebra.RightOuterJoin, algebra.FullOuterJoin)
+}
+
+// V3CoreExpr is the corresponding core view: every outer join replaced by an
+// inner join (the paper's comparison baseline in Figure 5).
+func V3CoreExpr() algebra.Expr {
+	return v3Shape(algebra.InnerJoin, algebra.InnerJoin)
+}
+
+func v3Shape(custJoin, partJoin algebra.JoinKind) algebra.Expr {
+	dateSel := algebra.MakeAnd(
+		algebra.CmpConst("orders", "o_orderdate", algebra.OpGe, V3DateLo),
+		algebra.CmpConst("orders", "o_orderdate", algebra.OpLe, V3DateHi),
+	)
+	lo := &algebra.Join{
+		Kind:  algebra.InnerJoin,
+		Left:  &algebra.TableRef{Name: "lineitem"},
+		Right: &algebra.Select{Input: &algebra.TableRef{Name: "orders"}, Pred: dateSel},
+		Pred:  algebra.Eq("lineitem", "l_orderkey", "orders", "o_orderkey"),
+	}
+	loc := &algebra.Join{
+		Kind:  custJoin,
+		Left:  lo,
+		Right: &algebra.TableRef{Name: "customer"},
+		Pred:  algebra.Eq("customer", "c_custkey", "orders", "o_custkey"),
+	}
+	return &algebra.Join{
+		Kind:  partJoin,
+		Left:  loc,
+		Right: &algebra.TableRef{Name: "part"},
+		Pred: algebra.MakeAnd(
+			algebra.Eq("lineitem", "l_partkey", "part", "p_partkey"),
+			algebra.CmpConst("part", "p_retailprice", algebra.OpLt, rel.Float(2000)),
+		),
+	}
+}
+
+// V3Output is the paper's select list (it already contains every base
+// table's key columns, as Define requires).
+func V3Output() []algebra.ColRef {
+	return []algebra.ColRef{
+		algebra.Col("lineitem", "l_orderkey"),
+		algebra.Col("lineitem", "l_linenumber"),
+		algebra.Col("lineitem", "l_quantity"),
+		algebra.Col("lineitem", "l_extendedprice"),
+		algebra.Col("lineitem", "l_shipdate"),
+		algebra.Col("lineitem", "l_returnflag"),
+		algebra.Col("orders", "o_orderkey"),
+		algebra.Col("orders", "o_orderdate"),
+		algebra.Col("orders", "o_clerk"),
+		algebra.Col("customer", "c_custkey"),
+		algebra.Col("customer", "c_nationkey"),
+		algebra.Col("customer", "c_mktsegment"),
+		algebra.Col("part", "p_partkey"),
+		algebra.Col("part", "p_type"),
+		algebra.Col("part", "p_retailprice"),
+	}
+}
+
+// OJViewExpr is Example 1's view: part full outer join (orders left outer
+// join lineitem on l_orderkey=o_orderkey) on p_partkey=l_partkey.
+func OJViewExpr() algebra.Expr {
+	return &algebra.Join{
+		Kind: algebra.FullOuterJoin,
+		Left: &algebra.TableRef{Name: "part"},
+		Right: &algebra.Join{
+			Kind:  algebra.LeftOuterJoin,
+			Left:  &algebra.TableRef{Name: "orders"},
+			Right: &algebra.TableRef{Name: "lineitem"},
+			Pred:  algebra.Eq("lineitem", "l_orderkey", "orders", "o_orderkey"),
+		},
+		Pred: algebra.Eq("part", "p_partkey", "lineitem", "l_partkey"),
+	}
+}
+
+// OJViewOutput is Example 1's select list, extended with l_orderkey so the
+// view outputs lineitem's full key.
+func OJViewOutput() []algebra.ColRef {
+	return []algebra.ColRef{
+		algebra.Col("part", "p_partkey"),
+		algebra.Col("part", "p_name"),
+		algebra.Col("part", "p_retailprice"),
+		algebra.Col("orders", "o_orderkey"),
+		algebra.Col("orders", "o_custkey"),
+		algebra.Col("lineitem", "l_orderkey"),
+		algebra.Col("lineitem", "l_linenumber"),
+		algebra.Col("lineitem", "l_quantity"),
+		algebra.Col("lineitem", "l_extendedprice"),
+	}
+}

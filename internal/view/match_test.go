@@ -1,0 +1,99 @@
+package view
+
+import (
+	"testing"
+
+	"ojv/internal/algebra"
+	"ojv/internal/fixture"
+	"ojv/internal/rel"
+)
+
+func TestMatchesIdenticalExpression(t *testing.T) {
+	cat := mustRSTU(t, false)
+	def, err := Define(cat, "v1", fixture.V1Expr(false), fixture.V1Output(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Matches(fixture.V1Expr(false)) {
+		t.Error("a view must match its own definition")
+	}
+}
+
+func TestMatchesCommutedJoins(t *testing.T) {
+	cat := mustRSTU(t, false)
+	def, err := Define(cat, "v1", fixture.V1Expr(false), fixture.V1Output(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commute the full outer joins (fo is symmetric) and reverse the
+	// predicate operand order: the normal form is identical.
+	commuted := &algebra.Join{
+		Kind:  algebra.LeftOuterJoin,
+		Left:  &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "S"}, Right: &algebra.TableRef{Name: "R"}, Pred: algebra.Eq("S", "b", "R", "b")},
+		Right: &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "U"}, Right: &algebra.TableRef{Name: "T"}, Pred: algebra.Eq("U", "d", "T", "d")},
+		Pred:  algebra.Eq("T", "c", "R", "c"),
+	}
+	if !def.Matches(commuted) {
+		t.Error("commuted full outer joins must match")
+	}
+	// A left outer join commuted to a right outer join with swapped inputs
+	// also matches.
+	loAsRo := &algebra.Join{
+		Kind:  algebra.RightOuterJoin,
+		Left:  &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "T"}, Right: &algebra.TableRef{Name: "U"}, Pred: algebra.Eq("T", "d", "U", "d")},
+		Right: &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "R"}, Right: &algebra.TableRef{Name: "S"}, Pred: algebra.Eq("R", "b", "S", "b")},
+		Pred:  algebra.Eq("R", "c", "T", "c"),
+	}
+	if !def.Matches(loAsRo) {
+		t.Error("lo commuted into ro must match")
+	}
+}
+
+func TestMatchesRejectsDifferentViews(t *testing.T) {
+	cat := mustRSTU(t, false)
+	def, err := Define(cat, "v1", fixture.V1Expr(false), fixture.V1Output(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different join kind (inner instead of lo at the root): different
+	// terms.
+	innerRoot := &algebra.Join{
+		Kind:  algebra.InnerJoin,
+		Left:  &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "R"}, Right: &algebra.TableRef{Name: "S"}, Pred: algebra.Eq("R", "b", "S", "b")},
+		Right: &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "T"}, Right: &algebra.TableRef{Name: "U"}, Pred: algebra.Eq("T", "d", "U", "d")},
+		Pred:  algebra.Eq("R", "c", "T", "c"),
+	}
+	if def.Matches(innerRoot) {
+		t.Error("inner-join root must not match an outer-join view")
+	}
+	// Different predicate constant.
+	sel := &algebra.Select{Input: fixture.V1Expr(false), Pred: algebra.CmpConst("R", "b", algebra.OpLt, rel.Int(5))}
+	if def.Matches(sel) {
+		t.Error("extra selection must not match")
+	}
+	// Different table set.
+	rs := &algebra.Join{Kind: algebra.FullOuterJoin, Left: &algebra.TableRef{Name: "R"}, Right: &algebra.TableRef{Name: "S"}, Pred: algebra.Eq("R", "b", "S", "b")}
+	if def.Matches(rs) {
+		t.Error("different table set must not match")
+	}
+	// Invalid expressions never match.
+	if def.Matches(&algebra.Dedup{Input: &algebra.TableRef{Name: "R"}}) {
+		t.Error("non-SPOJ expression must not match")
+	}
+}
+
+func TestMatchesSelectionPlacement(t *testing.T) {
+	// σ on a table before or conceptually after a join over it: same
+	// normal form when the predicate applies to the same terms.
+	cat, err := fixture.COL(fixture.COLOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Define(cat, "v2", fixture.V2Expr(), fixture.V2Output(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Matches(fixture.V2Expr()) {
+		t.Error("V2 must match itself")
+	}
+}

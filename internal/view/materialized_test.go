@@ -1,0 +1,230 @@
+package view
+
+import (
+	"testing"
+
+	"ojv/internal/fixture"
+	"ojv/internal/rel"
+)
+
+// storageFixture materializes V1 and returns the storage for white-box
+// checks of the physical design (view keys, patterns, per-table indexes).
+func storageFixture(t *testing.T, opts Options) *Materialized {
+	t.Helper()
+	_, m := newV1Maintainer(t, false, opts)
+	return m.Materialized()
+}
+
+func TestViewKeyDeterminedByPattern(t *testing.T) {
+	mv := storageFixture(t, Options{})
+	seen := make(map[string]bool)
+	for _, row := range mv.Rows() {
+		k := mv.viewKey(row)
+		if seen[k] {
+			t.Fatalf("duplicate view key for %s", row)
+		}
+		seen[k] = true
+	}
+	if len(seen) != mv.Len() {
+		t.Errorf("key count %d != len %d", len(seen), mv.Len())
+	}
+}
+
+func TestPatternCountsSumToLen(t *testing.T) {
+	mv := storageFixture(t, Options{})
+	total := 0
+	for _, c := range mv.patternCount {
+		total += c
+	}
+	if total != mv.Len() {
+		t.Errorf("pattern counts sum to %d, Len = %d", total, mv.Len())
+	}
+	// Every stored row's pattern corresponds to a normal-form term.
+	nf := mv.Definition().NormalForm()
+	valid := make(map[uint32]bool)
+	for _, term := range nf.Terms {
+		valid[mv.patternOf(term.Tables)] = true
+	}
+	for p, c := range mv.patternCount {
+		if c > 0 && !valid[p] {
+			t.Errorf("pattern %b has %d rows but matches no term", p, c)
+		}
+	}
+}
+
+func TestTermCardinalityMatchesScan(t *testing.T) {
+	mv := storageFixture(t, Options{})
+	nf := mv.Definition().NormalForm()
+	for _, term := range nf.Terms {
+		want := 0
+		for _, row := range mv.Rows() {
+			if mv.pattern(row) == mv.patternOf(term.Tables) {
+				want++
+			}
+		}
+		if got := mv.TermCardinality(term.Tables); got != want {
+			t.Errorf("term %s: cardinality %d, scan %d", term.SourceKey(), got, want)
+		}
+	}
+}
+
+func TestPerTableIndexConsistency(t *testing.T) {
+	mv := storageFixture(t, Options{})
+	if mv.perTable == nil {
+		t.Fatal("orphan index should be enabled by default")
+	}
+	// Every index entry points to a live row that actually contains the
+	// tuple, and every row is indexed under each of its non-null tables.
+	for table, idx := range mv.perTable {
+		for tk, set := range idx {
+			for vk := range set {
+				row, ok := mv.rows[vk]
+				if !ok {
+					t.Fatalf("index %s/%x points to missing row", table, tk)
+				}
+				if rel.EncodeRowCols(row, mv.keyCols[table]) != tk {
+					t.Fatalf("index %s entry mismatches row %s", table, row)
+				}
+			}
+		}
+	}
+	for vk, row := range mv.rows {
+		for _, table := range mv.tableOrder {
+			if row[mv.witnessCol[table]].IsNull() {
+				continue
+			}
+			tk := rel.EncodeRowCols(row, mv.keyCols[table])
+			if _, ok := mv.perTable[table][tk][vk]; !ok {
+				t.Fatalf("row %s not indexed under %s", row, table)
+			}
+		}
+	}
+}
+
+func TestContainsTupleAgainstScan(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		mv := storageFixture(t, Options{DisableOrphanIndex: disable})
+		nf := mv.Definition().NormalForm()
+		// For every term and a sample of rows, containsTuple must agree
+		// with a full scan.
+		for _, term := range nf.Terms {
+			n := 0
+			for _, row := range mv.Rows() {
+				if row[mv.witnessCol[term.Tables[0]]].IsNull() {
+					continue
+				}
+				encKeys := make(map[string]string)
+				usable := true
+				for _, tb := range term.Tables {
+					if row[mv.witnessCol[tb]].IsNull() {
+						usable = false
+						break
+					}
+					encKeys[tb] = rel.EncodeRowCols(row, mv.keyCols[tb])
+				}
+				if !usable {
+					continue
+				}
+				if !mv.containsTuple(term.Tables, encKeys) {
+					t.Fatalf("disable=%v: row %s not found for its own term %s", disable, row, term.SourceKey())
+				}
+				n++
+				if n > 20 {
+					break
+				}
+			}
+		}
+		// A fabricated key must not be found.
+		tb := nf.AllTables[0]
+		enc := map[string]string{tb: rel.EncodeValues(rel.Int(999999))}
+		if mv.containsTuple([]string{tb}, enc) {
+			t.Errorf("disable=%v: phantom tuple found", disable)
+		}
+	}
+}
+
+func TestInsertRowRejectsDuplicates(t *testing.T) {
+	mv := storageFixture(t, Options{})
+	row := mv.Rows()[0]
+	if err := mv.insertRow(row); err == nil {
+		t.Error("duplicate view key must be rejected")
+	}
+	if _, ok := mv.deleteKey("no-such-key"); ok {
+		t.Error("deleteKey of a missing key must report false")
+	}
+}
+
+func TestMaterializeIsIdempotent(t *testing.T) {
+	_, m := newV1Maintainer(t, false, Options{})
+	before := m.Materialized().Len()
+	if err := m.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Materialized().Len() != before {
+		t.Errorf("re-materialize changed row count: %d -> %d", before, m.Materialized().Len())
+	}
+	if err := Check(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrphanKeyRoundTrip(t *testing.T) {
+	mv := storageFixture(t, Options{})
+	// For an orphan row of some term, orphanKeyFor(row) must equal the
+	// row's own view key.
+	nf := mv.Definition().NormalForm()
+	for _, term := range nf.Terms {
+		tiSet := make(map[string]bool)
+		for _, tb := range term.Tables {
+			tiSet[tb] = true
+		}
+		pat := mv.patternOf(term.Tables)
+		for _, row := range mv.Rows() {
+			if mv.pattern(row) != pat {
+				continue
+			}
+			if mv.orphanKeyFor(row, tiSet) != mv.viewKey(row) {
+				t.Fatalf("orphan key mismatch for %s (term %s)", row, term.SourceKey())
+			}
+			// The encoded-keys variant agrees too.
+			encKeys := make(map[string]string)
+			for _, tb := range term.Tables {
+				encKeys[tb] = rel.EncodeRowCols(row, mv.keyCols[tb])
+			}
+			if mv.orphanKeyFromEnc(tiSet, encKeys) != mv.viewKey(row) {
+				t.Fatalf("orphanKeyFromEnc mismatch for %s", row)
+			}
+			break
+		}
+	}
+}
+
+func TestDefinitionAccessors(t *testing.T) {
+	cat := mustRSTU(t, false)
+	def, err := Define(cat, "v1", fixture.V1Expr(false), fixture.V1Output(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := def.Tables(); len(got) != 4 || got[0] != "R" {
+		t.Errorf("Tables = %v", got)
+	}
+	if def.NormalForm() == nil || len(def.NormalForm().Terms) != 7 {
+		t.Error("NormalForm accessor")
+	}
+	if len(def.FullSchema()) != 10 {
+		t.Errorf("FullSchema width = %d", len(def.FullSchema()))
+	}
+	m, err := NewMaintainer(def, Options{DisableOrphanIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Materialized().Options().DisableOrphanIndex != true {
+		t.Error("Options accessor")
+	}
+	if m.Materialized().Definition() != def {
+		t.Error("Definition accessor")
+	}
+	if m.Aggregated() != nil {
+		t.Error("non-aggregate view must have nil Aggregated")
+	}
+}

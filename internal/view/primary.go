@@ -1,0 +1,428 @@
+package view
+
+import (
+	"fmt"
+
+	"ojv/internal/algebra"
+	"ojv/internal/rel"
+)
+
+// BuildPrimaryDelta derives the ΔV^D expression for updates to the given
+// table by the algorithm of Section 4:
+//
+//  1. Commute joins along the path from the updated table to the root so
+//     the input referencing it is always on the left.
+//  2. Convert, along that path, full outer joins to left outer joins and
+//     right outer joins to inner joins.
+//  3. Substitute ΔT for T.
+//
+// If fkSimplify is true, the SimplifyTree procedure of Section 6.1 then
+// prunes joins made empty by foreign-key constraints (possibly proving the
+// whole delta empty, in which case the returned expression is nil). If
+// leftDeep is true, the tree is finally converted to a left-deep join tree
+// with the associativity rules of Section 4.1.
+func BuildPrimaryDelta(cat *rel.Catalog, viewExpr algebra.Expr, table string, leftDeep, fkSimplify bool) (algebra.Expr, error) {
+	e := algebra.CloneExpr(viewExpr)
+	e, found := commutePath(e, table)
+	if !found {
+		return nil, fmt.Errorf("view: table %s not referenced by the view", table)
+	}
+	e = weakenPath(e, table)
+	e = substituteDelta(e, table)
+	if fkSimplify {
+		var empty bool
+		e, empty = SimplifyTree(cat, e, table)
+		if empty {
+			return nil, nil
+		}
+	}
+	if leftDeep {
+		var err error
+		e, err = ToLeftDeep(cat, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// commutePath swaps join inputs so that the subtree containing table is
+// always the left input, flipping left/right outer join kinds as needed. It
+// reports whether the table was found.
+func commutePath(e algebra.Expr, table string) (algebra.Expr, bool) {
+	switch n := e.(type) {
+	case *algebra.TableRef:
+		return n, n.Name == table
+	case *algebra.Select:
+		in, ok := commutePath(n.Input, table)
+		n.Input = in
+		return n, ok
+	case *algebra.Join:
+		if l, ok := commutePath(n.Left, table); ok {
+			n.Left = l
+			return n, true
+		}
+		if r, ok := commutePath(n.Right, table); ok {
+			// Commute: the T-side becomes the left input.
+			n.Left, n.Right = r, n.Left
+			switch n.Kind {
+			case algebra.LeftOuterJoin:
+				n.Kind = algebra.RightOuterJoin
+			case algebra.RightOuterJoin:
+				n.Kind = algebra.LeftOuterJoin
+			}
+			return n, true
+		}
+		return n, false
+	default:
+		return e, false
+	}
+}
+
+// weakenPath walks the (now leftmost) path from table to the root and
+// converts full outer joins to left outer joins and right outer joins to
+// inner joins — discarding exactly the tuples that are null-extended on the
+// updated table and therefore can never belong to V^D.
+func weakenPath(e algebra.Expr, table string) algebra.Expr {
+	switch n := e.(type) {
+	case *algebra.Select:
+		n.Input = weakenPath(n.Input, table)
+		return n
+	case *algebra.Join:
+		if !onPath(n.Left, table) {
+			return n // below the path; untouched
+		}
+		switch n.Kind {
+		case algebra.FullOuterJoin:
+			n.Kind = algebra.LeftOuterJoin
+		case algebra.RightOuterJoin:
+			n.Kind = algebra.InnerJoin
+		}
+		n.Left = weakenPath(n.Left, table)
+		return n
+	default:
+		return e
+	}
+}
+
+func onPath(e algebra.Expr, table string) bool {
+	for _, t := range e.Tables() {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+// substituteDelta replaces the TableRef leaf for table with a DeltaRef.
+func substituteDelta(e algebra.Expr, table string) algebra.Expr {
+	switch n := e.(type) {
+	case *algebra.TableRef:
+		if n.Name == table {
+			return &algebra.DeltaRef{Name: table}
+		}
+		return n
+	case *algebra.Select:
+		n.Input = substituteDelta(n.Input, table)
+		return n
+	case *algebra.Join:
+		n.Left = substituteDelta(n.Left, table)
+		n.Right = substituteDelta(n.Right, table)
+		return n
+	default:
+		return e
+	}
+}
+
+// SimplifyTree implements the procedure of Section 6.1 on a ΔV^D tree
+// (before left-deep conversion): joins against tables holding a foreign key
+// to the updated table can never match the delta, so a null-rejecting inner
+// join or selection proves the delta empty, and a null-rejecting left outer
+// join passes the delta through unchanged and is removed. Tables of removed
+// subtrees are added to the working set, since their columns are known to
+// be null from then on. It returns the simplified tree and whether the
+// delta is provably empty.
+func SimplifyTree(cat *rel.Catalog, deltaExpr algebra.Expr, table string) (algebra.Expr, bool) {
+	s := fkTablesMatchingJoins(cat, deltaExpr, table)
+	if len(s) == 0 {
+		return deltaExpr, false
+	}
+	e, empty := simplifyNode(deltaExpr, s)
+	return e, empty
+}
+
+// fkTablesMatchingJoins collects the tables with a foreign key referencing
+// the updated table whose FK equijoin appears as a join predicate in the
+// tree (the set S of Section 6.1).
+func fkTablesMatchingJoins(cat *rel.Catalog, e algebra.Expr, updated string) map[string]bool {
+	s := make(map[string]bool)
+	conjSets := make([]map[string]bool, 0, 4)
+	var collect func(e algebra.Expr)
+	collect = func(e algebra.Expr) {
+		if j, ok := e.(*algebra.Join); ok {
+			conjSets = append(conjSets, algebra.ConjunctSet(j.Pred))
+		}
+		for _, c := range e.Children() {
+			collect(c)
+		}
+	}
+	collect(e)
+	for _, t := range e.Tables() {
+		if t == updated {
+			continue
+		}
+		for _, fk := range cat.ForeignKeys(t) {
+			if fk.RefTable != updated {
+				continue
+			}
+			for _, conj := range conjSets {
+				all := true
+				for i := range fk.Cols {
+					if !conj[algebra.CanonicalConjunct(algebra.Eq(t, fk.Cols[i], updated, fk.RefCols[i]))] {
+						all = false
+						break
+					}
+				}
+				if all {
+					s[t] = true
+					break
+				}
+			}
+		}
+	}
+	return s
+}
+
+// simplifyNode processes the main path (leftmost spine) bottom-up.
+func simplifyNode(e algebra.Expr, s map[string]bool) (algebra.Expr, bool) {
+	switch n := e.(type) {
+	case *algebra.Select:
+		in, empty := simplifyNode(n.Input, s)
+		if empty {
+			return nil, true
+		}
+		n.Input = in
+		if predRejectsAny(n.Pred, s) {
+			return nil, true
+		}
+		return n, false
+	case *algebra.Join:
+		left, empty := simplifyNode(n.Left, s)
+		if empty {
+			return nil, true
+		}
+		n.Left = left
+		if predRejectsAny(n.Pred, s) {
+			switch n.Kind {
+			case algebra.InnerJoin:
+				return nil, true
+			case algebra.LeftOuterJoin:
+				// The join never matches: the delta passes through and the
+				// right side's tables become known-null.
+				for _, t := range n.Right.Tables() {
+					s[t] = true
+				}
+				return n.Left, false
+			}
+		}
+		return n, false
+	default:
+		return e, false
+	}
+}
+
+func predRejectsAny(p algebra.Pred, s map[string]bool) bool {
+	for t := range s {
+		if p.RejectsNullsOn(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ToLeftDeep converts a ΔV^D tree (whose main path contains only selects,
+// inner joins and left outer joins) into a left-deep tree: the right
+// operand of every join on the main path becomes a single base table,
+// possibly under a selection. It repeatedly applies the associativity rules
+// of Section 4.1; rules 1, 4 and 5 introduce a null-if operator plus a
+// condense (duplicate/subsumption elimination within left-key groups, the
+// paper's δ).
+func ToLeftDeep(cat *rel.Catalog, e algebra.Expr) (algebra.Expr, error) {
+	for {
+		changed, out, err := pullOne(cat, e)
+		if err != nil {
+			return nil, err
+		}
+		e = out
+		if !changed {
+			return e, nil
+		}
+	}
+}
+
+// pullOne finds the lowest main-path join whose right operand is complex
+// and applies one rewrite.
+func pullOne(cat *rel.Catalog, e algebra.Expr) (bool, algebra.Expr, error) {
+	switch n := e.(type) {
+	case *algebra.Select:
+		changed, in, err := pullOne(cat, n.Input)
+		n.Input = in
+		return changed, n, err
+	case *algebra.NullIf:
+		changed, in, err := pullOne(cat, n.Input)
+		n.Input = in
+		return changed, n, err
+	case *algebra.Condense:
+		changed, in, err := pullOne(cat, n.Input)
+		n.Input = in
+		return changed, n, err
+	case *algebra.Join:
+		changed, in, err := pullOne(cat, n.Left)
+		if err != nil {
+			return false, nil, err
+		}
+		n.Left = in
+		if changed {
+			return true, n, nil
+		}
+		if isLeafish(n.Right) {
+			return false, n, nil
+		}
+		out, err := pullRight(cat, n)
+		if err != nil {
+			return false, nil, err
+		}
+		return true, out, nil
+	default:
+		return false, e, nil
+	}
+}
+
+// isLeafish reports whether an expression may stay as the right operand of
+// a left-deep join: a base table or delta, possibly under a selection.
+func isLeafish(e algebra.Expr) bool {
+	switch n := e.(type) {
+	case *algebra.TableRef, *algebra.DeltaRef, *algebra.OldTableRef, *algebra.RelRef:
+		return true
+	case *algebra.Select:
+		return isLeafish(n.Input)
+	default:
+		return false
+	}
+}
+
+// pullRight rewrites one main-path join whose right operand is complex.
+// j.Kind is Inner or LeftOuter (guaranteed by the Section 4 transform).
+func pullRight(cat *rel.Catalog, j *algebra.Join) (algebra.Expr, error) {
+	switch r := j.Right.(type) {
+	case *algebra.Select:
+		if j.Kind == algebra.InnerJoin {
+			// e1 ⋈p (σq e2) = σq (e1 ⋈p e2)
+			j.Right = r.Input
+			return &algebra.Select{Input: j, Pred: r.Pred}, nil
+		}
+		// Rule 1: e1 lo_p (σq e2) = δ λ^{e2.*}_{¬q} (e1 lo_p e2), condensed
+		// on e1's key.
+		j.Right = r.Input
+		return condenseNullIf(cat, j, r.Pred, j.Right.Tables()), nil
+	case *algebra.Join:
+		// Orient the right join so the main-path predicate references its
+		// left input.
+		if err := orientRightJoin(j, r); err != nil {
+			return nil, err
+		}
+		e1, e2, e3 := j.Left, r.Left, r.Right
+		p12, p23 := j.Pred, r.Pred
+		inner := func(k1, k2 algebra.JoinKind) algebra.Expr {
+			return &algebra.Join{Kind: k2, Pred: p23, Right: e3,
+				Left: &algebra.Join{Kind: k1, Pred: p12, Left: e1, Right: e2}}
+		}
+		if j.Kind == algebra.InnerJoin {
+			switch r.Kind {
+			case algebra.InnerJoin, algebra.RightOuterJoin:
+				// e1 ⋈ (e2 ⋈/ro e3): unmatched e3 rows are null on e2 and die
+				// in the null-rejecting main-path join ⇒ plain associativity.
+				return inner(algebra.InnerJoin, algebra.InnerJoin), nil
+			case algebra.LeftOuterJoin, algebra.FullOuterJoin:
+				// e3-only rows die; e2-only rows survive null-extended on e3.
+				return inner(algebra.InnerJoin, algebra.LeftOuterJoin), nil
+			}
+		}
+		switch r.Kind {
+		case algebra.FullOuterJoin:
+			// Rule 2.
+			return inner(algebra.LeftOuterJoin, algebra.LeftOuterJoin), nil
+		case algebra.LeftOuterJoin:
+			// Rule 3.
+			return inner(algebra.LeftOuterJoin, algebra.LeftOuterJoin), nil
+		case algebra.RightOuterJoin, algebra.InnerJoin:
+			// Rules 4 and 5: ((e1 lo e2) lo e3) with a null-if fix-up of
+			// rows whose e2-e3 match failed, then condense.
+			body := inner(algebra.LeftOuterJoin, algebra.LeftOuterJoin)
+			nullTabs := append(append([]string(nil), e2.Tables()...), e3.Tables()...)
+			return condenseNullIfExpr(cat, body, p23, nullTabs, e1), nil
+		}
+		return nil, fmt.Errorf("view: cannot pull %s join", r.Kind)
+	default:
+		return nil, fmt.Errorf("view: unexpected right operand %T on main path", j.Right)
+	}
+}
+
+// orientRightJoin commutes r's inputs, if needed, so that the main-path
+// predicate p(1,2) references tables in r.Left.
+func orientRightJoin(j *algebra.Join, r *algebra.Join) error {
+	leftTabs := algebra.TableSet(r.Left)
+	rightTabs := algebra.TableSet(r.Right)
+	var inLeft, inRight bool
+	for _, t := range algebra.PredTables(j.Pred) {
+		if leftTabs[t] {
+			inLeft = true
+		}
+		if rightTabs[t] {
+			inRight = true
+		}
+	}
+	if inLeft && inRight {
+		return fmt.Errorf("view: join predicate %s references both inputs of the right operand (predicates must be binary)", j.Pred)
+	}
+	if inRight {
+		r.Left, r.Right = r.Right, r.Left
+		switch r.Kind {
+		case algebra.LeftOuterJoin:
+			r.Kind = algebra.RightOuterJoin
+		case algebra.RightOuterJoin:
+			r.Kind = algebra.LeftOuterJoin
+		}
+	}
+	return nil
+}
+
+// condenseNullIf wraps body in λ + condense, grouping on the key columns of
+// the tables of body's leftmost input (e1).
+func condenseNullIf(cat *rel.Catalog, body *algebra.Join, unless algebra.Pred, nullTabs []string) algebra.Expr {
+	return condenseNullIfExpr(cat, body, unless, nullTabs, body.Left)
+}
+
+func condenseNullIfExpr(cat *rel.Catalog, body algebra.Expr, unless algebra.Pred, nullTabs []string, e1 algebra.Expr) algebra.Expr {
+	return &algebra.Condense{
+		Input:    &algebra.NullIf{Input: body, Unless: unless, NullTables: nullTabs},
+		GroupKey: termKeyCols(cat, e1.Tables()),
+	}
+}
+
+// IsLeftDeep reports whether every join's right operand on the whole tree
+// is leafish; used by tests and EXPLAIN output.
+func IsLeftDeep(e algebra.Expr) bool {
+	switch n := e.(type) {
+	case *algebra.Join:
+		return isLeafish(n.Right) && IsLeftDeep(n.Left)
+	case *algebra.Select:
+		return IsLeftDeep(n.Input)
+	case *algebra.NullIf:
+		return IsLeftDeep(n.Input)
+	case *algebra.Condense:
+		return IsLeftDeep(n.Input)
+	default:
+		return isLeafish(e)
+	}
+}

@@ -1,0 +1,203 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"ojv/internal/algebra"
+	"ojv/internal/fixture"
+	"ojv/internal/rel"
+)
+
+func mustRSTU(t testing.TB, withFK bool) *rel.Catalog {
+	t.Helper()
+	cat, err := fixture.RSTU(fixture.RSTUOptions{Rows: 30, Seed: 1, WithFK: withFK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestPrimaryDeltaTransformV1 reproduces Figure 2: the bushy ΔV1^D for an
+// update to T is (ΔT lo[p(t,u)] U) join[p(r,t)] (R fo[p(r,s)] S).
+func TestPrimaryDeltaTransformV1(t *testing.T) {
+	cat := mustRSTU(t, false)
+	expr, err := BuildPrimaryDelta(cat, fixture.V1Expr(false), "T", false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := expr.String()
+	want := "((ΔT lo[T.d=U.d] U) join[R.c=T.c] (R fo[R.b=S.b] S))"
+	if got != want {
+		t.Errorf("ΔV1^D = %s, want %s", got, want)
+	}
+}
+
+// TestLeftDeepConversionV1 reproduces Figure 3: the left-deep form is
+// ((ΔT lo U) join R) lo S.
+func TestLeftDeepConversionV1(t *testing.T) {
+	cat := mustRSTU(t, false)
+	expr, err := BuildPrimaryDelta(cat, fixture.V1Expr(false), "T", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := expr.String()
+	want := "(((ΔT lo[T.d=U.d] U) join[R.c=T.c] R) lo[R.b=S.b] S)"
+	if got != want {
+		t.Errorf("left-deep ΔV1^D = %s, want %s", got, want)
+	}
+	if !IsLeftDeep(expr) {
+		t.Error("IsLeftDeep should hold")
+	}
+}
+
+// TestSimplifyTreeExample10 reproduces Example 10: with the foreign key
+// U.tfk→T.tk matching the T-U join, the ΔT lo U join is eliminated,
+// leaving (ΔT join R) lo S.
+func TestSimplifyTreeExample10(t *testing.T) {
+	cat := mustRSTU(t, true)
+	expr, err := BuildPrimaryDelta(cat, fixture.V1Expr(true), "T", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := expr.String()
+	want := "((ΔT join[R.c=T.c] R) lo[R.b=S.b] S)"
+	if got != want {
+		t.Errorf("simplified ΔV1^D = %s, want %s", got, want)
+	}
+	// Without FK simplification the U join stays.
+	expr2, err := BuildPrimaryDelta(cat, fixture.V1Expr(true), "T", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expr2.String(), "U") {
+		t.Errorf("unsimplified tree should retain U: %s", expr2)
+	}
+}
+
+// TestPrimaryDeltaForEachTable derives ΔV^D for every base table of V1 and
+// checks the structural invariants: the delta leaf is leftmost, the main
+// path has only selects/inner/left-outer joins, and the tree is left-deep.
+func TestPrimaryDeltaForEachTable(t *testing.T) {
+	cat := mustRSTU(t, false)
+	for _, table := range []string{"R", "S", "T", "U"} {
+		expr, err := BuildPrimaryDelta(cat, fixture.V1Expr(false), table, true, false)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		if expr == nil {
+			t.Fatalf("%s: unexpected empty delta", table)
+		}
+		if !IsLeftDeep(expr) {
+			t.Errorf("%s: not left-deep:\n%s", table, algebra.FormatTree(expr))
+		}
+		// Leftmost leaf is the delta.
+		leaf := expr
+		for {
+			switch n := leaf.(type) {
+			case *algebra.Join:
+				leaf = n.Left
+			case *algebra.Select:
+				leaf = n.Input
+			case *algebra.NullIf:
+				leaf = n.Input
+			case *algebra.Condense:
+				leaf = n.Input
+			default:
+				goto done
+			}
+		}
+	done:
+		if d, ok := leaf.(*algebra.DeltaRef); !ok || d.Name != table {
+			t.Errorf("%s: leftmost leaf = %v", table, leaf)
+		}
+		// Main path joins are inner or left-outer only.
+		for e := expr; ; {
+			switch n := e.(type) {
+			case *algebra.Join:
+				if n.Kind != algebra.InnerJoin && n.Kind != algebra.LeftOuterJoin {
+					t.Errorf("%s: %s join on main path", table, n.Kind)
+				}
+				e = n.Left
+			case *algebra.Select:
+				e = n.Input
+			case *algebra.NullIf:
+				e = n.Input
+			case *algebra.Condense:
+				e = n.Input
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+}
+
+// TestPrimaryDeltaUpdateO checks the transform on V2, where the updated
+// table sits in the middle of the join tree under selections.
+func TestPrimaryDeltaUpdateO(t *testing.T) {
+	cat, err := fixture.COL(fixture.COLOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := BuildPrimaryDelta(cat, fixture.V2Expr(), "O", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsLeftDeep(expr) {
+		t.Errorf("not left-deep:\n%s", algebra.FormatTree(expr))
+	}
+	// The σ[O.a>0] selection must survive on the main path (applied to ΔO).
+	if !strings.Contains(expr.String(), "O.a>0") {
+		t.Errorf("selection on O lost: %s", expr)
+	}
+}
+
+func TestBuildPrimaryDeltaUnknownTable(t *testing.T) {
+	cat := mustRSTU(t, false)
+	if _, err := BuildPrimaryDelta(cat, fixture.V1Expr(false), "X", true, false); err == nil {
+		t.Error("unknown table must error")
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	cat := mustRSTU(t, false)
+	// Valid definition.
+	if _, err := Define(cat, "v1", fixture.V1Expr(false), fixture.V1Output(cat)); err != nil {
+		t.Fatalf("valid view rejected: %v", err)
+	}
+	// Missing key column in output.
+	out := fixture.V1Output(cat)
+	var noRK []algebra.ColRef
+	for _, c := range out {
+		if !(c.Table == "R" && c.Column == "rk") {
+			noRK = append(noRK, c)
+		}
+	}
+	if _, err := Define(cat, "bad", fixture.V1Expr(false), noRK); err == nil {
+		t.Error("output missing a key column must be rejected")
+	}
+	// Unknown output column.
+	if _, err := Define(cat, "bad", fixture.V1Expr(false), append(out, algebra.Col("R", "nosuch"))); err == nil {
+		t.Error("unknown output column must be rejected")
+	}
+	// Self-join.
+	self := &algebra.Join{Kind: algebra.InnerJoin, Left: &algebra.TableRef{Name: "R"}, Right: &algebra.TableRef{Name: "R"}, Pred: algebra.Eq("R", "b", "R", "c")}
+	if _, err := Define(cat, "bad", self, nil); err == nil {
+		t.Error("self-join must be rejected")
+	}
+	// Non-null-rejecting predicate.
+	nn := &algebra.Select{Input: &algebra.TableRef{Name: "R"}, Pred: algebra.IsNull{Col: algebra.Col("R", "b")}}
+	if _, err := Define(cat, "bad", nn, fixture.AllColumns(cat, "R")); err == nil {
+		t.Error("IS NULL view predicate must be rejected")
+	}
+	// Join predicate referencing one side only.
+	oneSided := &algebra.Join{Kind: algebra.InnerJoin, Left: &algebra.TableRef{Name: "R"}, Right: &algebra.TableRef{Name: "S"}, Pred: algebra.CmpConst("R", "b", algebra.OpGt, rel.Int(0))}
+	if _, err := Define(cat, "bad", oneSided, fixture.AllColumns(cat, "R", "S")); err == nil {
+		t.Error("one-sided join predicate must be rejected")
+	}
+	// Unknown table.
+	if _, err := Define(cat, "bad", &algebra.TableRef{Name: "X"}, nil); err == nil {
+		t.Error("unknown table must be rejected")
+	}
+}

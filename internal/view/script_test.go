@@ -1,0 +1,93 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"ojv/internal/tpch"
+)
+
+// TestMaintenanceScriptV3 checks the rendered script against the shape of
+// the paper's Q1-Q4 for lineitem insertions into V3 (Section 7).
+func TestMaintenanceScriptV3(t *testing.T) {
+	db, err := tpch.Generate(tpch.Config{ScaleFactor: 0.0005, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Define(db.Catalog, "V3", tpch.V3Expr(), tpch.V3Output())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(def, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := m.MaintenanceScript("lineitem", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"-- Q1: compute primary delta",
+		"select * into #delta from Δlineitem",
+		"-- Q2: apply primary delta",
+		"insert into V3 select * from #delta",
+		"-- Q3: update term {customer}",
+		"customer.c_custkey is not null",
+		"-- Q4: update term {part}",
+		"part.p_partkey is not null",
+		"left outer join part",
+	} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q:\n%s", want, script)
+		}
+	}
+	// The paper: orders updates do not affect the view at all.
+	noop, err := m.MaintenanceScript("orders", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(noop, "nothing to do") {
+		t.Errorf("orders script should be a no-op:\n%s", noop)
+	}
+	// Deletion script inserts new orphans with an anti-join.
+	del, err := m.MaintenanceScript("lineitem", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"delete from V3 where <view key>",
+		"not exists",
+		"insert tuples that became orphans",
+	} {
+		if !strings.Contains(del, want) {
+			t.Errorf("deletion script missing %q:\n%s", want, del)
+		}
+	}
+}
+
+// TestMaintenanceScriptCustomer checks the term-local customer insert
+// (pure insertion, no cleanup statements).
+func TestMaintenanceScriptCustomer(t *testing.T) {
+	db, err := tpch.Generate(tpch.Config{ScaleFactor: 0.0005, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Define(db.Catalog, "V3", tpch.V3Expr(), tpch.V3Output())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(def, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := m.MaintenanceScript("customer", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(script, "Q1") || !strings.Contains(script, "Q2") {
+		t.Errorf("customer script should have Q1/Q2:\n%s", script)
+	}
+	if strings.Contains(script, "Q3") {
+		t.Errorf("customer insert must have no orphan cleanup (Theorem 3):\n%s", script)
+	}
+}

@@ -1,0 +1,281 @@
+package view
+
+import (
+	"ojv/internal/algebra"
+	"ojv/internal/exec"
+	"ojv/internal/rel"
+)
+
+// secondaryFromView computes and applies ΔDi for one indirect term using
+// the view and the primary delta (Section 5.2). It returns the number of
+// orphan rows removed (insert case) or added (delete case).
+//
+// Insert case: σ nn(Ti)∧n(Si) (V+ΔV^D) ⋉ls_eq(Ti) σPi ΔV^D — every
+// current orphan of the term that joins (on the term's key) a delta row
+// belonging to a directly affected parent ceases to be an orphan and is
+// deleted. The view's key structure turns the semijoin into point lookups:
+// the orphan's view key is fully determined by the delta row's Ti key
+// values.
+//
+// Delete case: (δ πTi.* σPi ΔV^D) ⋉la_eq(Ti) (V−ΔV^D) — projections of
+// deleted parent tuples that are no longer contained in any view row become
+// new orphans and are inserted.
+func (m *Maintainer) secondaryFromView(ip *indirectPlan, primary exec.Relation, projected []rel.Row, isInsert bool) (int, error) {
+	mv := m.mv
+	n := 0
+	if isInsert {
+		for _, pr := range projected {
+			pat := mv.pattern(pr)
+			if !anyMaskSubset(ip.parentMasks, pat) {
+				continue
+			}
+			key := mv.orphanKeyFor(pr, ip.tiSet)
+			if _, ok := mv.deleteKey(key); ok {
+				n++
+			}
+		}
+		return n, nil
+	}
+	seen := make(map[string]bool)
+	for _, pr := range projected {
+		pat := mv.pattern(pr)
+		if !anyMaskSubset(ip.parentMasks, pat) {
+			continue
+		}
+		// Skip rows that are non-null on extras of an indirectly affected
+		// parent (the n(∪Rk) part of Qi, Section 5.3): the projected tuple
+		// is then subsumed by a sibling term's tuple — that term's own
+		// cleanup owns it — and must not be considered a new-orphan
+		// candidate here.
+		if pat&ip.indirectExtrasMask != 0 {
+			continue
+		}
+		encKeys := make(map[string]string, len(ip.term.Tables))
+		var candKey string
+		for _, t := range ip.term.Tables {
+			ek := rel.EncodeRowCols(pr, mv.keyCols[t])
+			encKeys[t] = ek
+			candKey += ek
+		}
+		if seen[candKey] {
+			continue
+		}
+		seen[candKey] = true
+		if mv.containsTuple(ip.term.Tables, encKeys) {
+			continue
+		}
+		orphan := make(rel.Row, len(mv.schema))
+		for i, c := range mv.schema {
+			if ip.tiSet[c.Table] {
+				orphan[i] = pr[i]
+			}
+		}
+		if err := mv.insertRow(orphan); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// secondaryInsertCombined performs the insertion-case view-side cleanup for
+// every indirect term in one pass over the primary delta: each delta row's
+// non-null pattern is computed once and tested against every term's parent
+// masks. Semantically identical to calling secondaryFromView per term
+// (orphan deletions are keyed and idempotent, so term order is irrelevant
+// for insertions); it exists because the shared per-row work dominates when
+// several terms are affected.
+func (m *Maintainer) secondaryInsertCombined(plans []*indirectPlan, projected []rel.Row) (map[string]int, error) {
+	mv := m.mv
+	counts := make(map[string]int, len(plans))
+	for _, pr := range projected {
+		pat := mv.pattern(pr)
+		for _, ip := range plans {
+			if !anyMaskSubset(ip.parentMasks, pat) {
+				continue
+			}
+			key := mv.orphanKeyFor(pr, ip.tiSet)
+			if _, ok := mv.deleteKey(key); ok {
+				counts[ip.term.SourceKey()]++
+			}
+		}
+	}
+	return counts, nil
+}
+
+// anyMaskSubset reports whether pat contains all bits of any mask.
+func anyMaskSubset(masks []uint32, pat uint32) bool {
+	for _, m := range masks {
+		if pat&m == m {
+			return true
+		}
+	}
+	return false
+}
+
+// secondaryCandidatesFromBase computes the surviving ΔDi candidates for one
+// indirect term from base tables and the primary delta (Section 5.3). The
+// returned relation carries all columns of the term's source tables.
+func (m *Maintainer) secondaryCandidatesFromBase(ctx *exec.Context, ip *indirectPlan, primary exec.Relation, isInsert bool) (exec.Relation, error) {
+	// Resolve the term tables' columns and witnesses within the delta schema.
+	witness := make(map[string]int, len(m.def.tables))
+	for _, t := range m.def.tables {
+		witness[t] = -1
+		tab := m.def.cat.Table(t)
+		kc := tab.KeyCols()
+		if len(kc) > 0 {
+			name := tab.Schema()[kc[0]].Name
+			witness[t] = primary.Schema.IndexOf(t, name)
+		}
+	}
+	for _, t := range ip.term.Tables {
+		if witness[t] < 0 {
+			// The term's table was pruned from the delta expression by
+			// foreign-key simplification: no candidates can exist.
+			return exec.Relation{}, nil
+		}
+	}
+	var tiCols []int
+	var tiKeyCols []int
+	for i, c := range primary.Schema {
+		if ip.tiSet[c.Table] {
+			tiCols = append(tiCols, i)
+		}
+	}
+	candSchema := primary.Schema.Project(tiCols)
+	for _, t := range ip.term.Tables {
+		tab := m.def.cat.Table(t)
+		for _, kc := range tab.KeyCols() {
+			tiKeyCols = append(tiKeyCols, candSchema.MustIndexOf(t, tab.Schema()[kc].Name))
+		}
+	}
+
+	// Qi: real on the term's tables, null on the extras of indirectly
+	// affected parents; then δ πTi.*.
+	bits := m.tableBits()
+	seen := make(map[string]bool)
+	cand := exec.Relation{Schema: candSchema}
+	for _, row := range primary.Rows {
+		var pat uint32
+		for _, t := range m.def.tables {
+			if w := witness[t]; w >= 0 && !row[w].IsNull() {
+				pat |= 1 << bits[t]
+			}
+		}
+		if pat&ip.tiMask != ip.tiMask || pat&ip.indirectExtrasMask != 0 {
+			continue
+		}
+		c := row.Project(tiCols)
+		k := rel.EncodeRowCols(c, tiKeyCols)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cand.Rows = append(cand.Rows, c)
+	}
+	if len(cand.Rows) == 0 {
+		return cand, nil
+	}
+
+	// Anti-join the candidates against every directly affected parent's
+	// E'ip: a candidate survives only if no parent evidence contains it.
+	for _, pb := range ip.parents {
+		expr := pb.exprDelete
+		if isInsert {
+			expr = pb.exprInsert
+		}
+		anti := &algebra.Join{
+			Kind:  algebra.AntiJoin,
+			Left:  &algebra.RelRef{Name: "__cand", TableNames: ip.term.Tables},
+			Right: expr,
+			Pred:  pb.qip,
+		}
+		sub := &exec.Context{
+			Catalog:       ctx.Catalog,
+			Deltas:        ctx.Deltas,
+			DeltaIsInsert: ctx.DeltaIsInsert,
+			Rels:          map[string]exec.Relation{"__cand": cand},
+		}
+		out, err := exec.Eval(sub, anti)
+		if err != nil {
+			return exec.Relation{}, err
+		}
+		cand = out
+		if len(cand.Rows) == 0 {
+			break
+		}
+	}
+	return cand, nil
+}
+
+// secondaryFromBase computes ΔDi from base tables and applies it to the
+// stored view: prior orphans are deleted after an insertion, new orphans
+// are inserted after a deletion.
+func (m *Maintainer) secondaryFromBase(ctx *exec.Context, ip *indirectPlan, primary exec.Relation, isInsert bool) (int, error) {
+	cand, err := m.secondaryCandidatesFromBase(ctx, ip, primary, isInsert)
+	if err != nil {
+		return 0, err
+	}
+	if len(cand.Rows) == 0 {
+		return 0, nil
+	}
+	mv := m.mv
+	// Key-column positions per term table within the candidate schema.
+	keyCols := make(map[string][]int, len(ip.term.Tables))
+	for _, t := range ip.term.Tables {
+		tab := m.def.cat.Table(t)
+		for _, kc := range tab.KeyCols() {
+			keyCols[t] = append(keyCols[t], cand.Schema.MustIndexOf(t, tab.Schema()[kc].Name))
+		}
+	}
+	n := 0
+	if isInsert {
+		for _, c := range cand.Rows {
+			encKeys := make(map[string]string, len(ip.term.Tables))
+			for _, t := range ip.term.Tables {
+				encKeys[t] = rel.EncodeRowCols(c, keyCols[t])
+			}
+			if _, ok := mv.deleteKey(mv.orphanKeyFromEnc(ip.tiSet, encKeys)); ok {
+				n++
+			}
+		}
+		return n, nil
+	}
+	// Deletion: insert new orphans built from the candidates.
+	mapping := make([]int, len(mv.schema))
+	for i, col := range mv.schema {
+		mapping[i] = -1
+		if ip.tiSet[col.Table] {
+			mapping[i] = cand.Schema.MustIndexOf(col.Table, col.Name)
+		}
+	}
+	for _, c := range cand.Rows {
+		orphan := make(rel.Row, len(mv.schema))
+		for i, src := range mapping {
+			if src >= 0 {
+				orphan[i] = c[src]
+			}
+		}
+		if err := mv.insertRow(orphan); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// orphanKeyFromEnc builds an orphan view key from per-table pre-encoded key
+// strings.
+func (m *Materialized) orphanKeyFromEnc(tiSet map[string]bool, encKeys map[string]string) string {
+	buf := make([]byte, 0, 16*len(m.tableOrder))
+	for _, t := range m.tableOrder {
+		if tiSet[t] {
+			buf = append(buf, encKeys[t]...)
+			continue
+		}
+		for range m.keyCols[t] {
+			buf = rel.AppendEncoded(buf, rel.Null)
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,531 @@
+// Package ojv is a library for materialized outer-join views with efficient
+// incremental maintenance, reproducing Larson & Zhou, "Efficient
+// Maintenance of Materialized Outer-Join Views" (ICDE 2007).
+//
+// It bundles an in-memory relational engine (typed values with SQL NULL
+// semantics, base tables with unique keys, secondary indexes and enforced
+// foreign keys) with the paper's maintenance machinery: join-disjunctive
+// normal forms, subsumption and maintenance graphs, primary- and
+// secondary-delta computation, and foreign-key-based simplification.
+//
+// Quick start:
+//
+//	db := ojv.NewDatabase()
+//	db.MustCreateTable("part", ojv.Cols(
+//	    ojv.IntCol("p_partkey"), ojv.StrCol("p_name")), "p_partkey")
+//	...
+//	v, err := db.CreateView("pv",
+//	    ojv.Table("part").FullJoin(
+//	        ojv.Table("orders").LeftJoin(ojv.Table("lineitem"),
+//	            ojv.Eq("lineitem", "l_orderkey", "orders", "o_orderkey")),
+//	        ojv.Eq("part", "p_partkey", "lineitem", "l_partkey")),
+//	    ojv.Columns("part.p_partkey", ...))
+//	db.Insert("lineitem", rows) // the view is maintained incrementally
+package ojv
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"ojv/internal/algebra"
+	"ojv/internal/exec"
+	"ojv/internal/rel"
+	"ojv/internal/view"
+)
+
+// Re-exported substrate types. Values, rows and schemas are shared with the
+// internal engine; the aliases make them constructible through this public
+// package.
+type (
+	// Value is a single SQL value (integer, float, string, bool, date or
+	// NULL).
+	Value = rel.Value
+	// Row is a tuple of values.
+	Row = rel.Row
+	// Column describes a base-table column.
+	Column = rel.Column
+	// Schema is an ordered list of columns.
+	Schema = rel.Schema
+	// Pred is a predicate over view tuples.
+	Pred = algebra.Pred
+	// ColRef names a column as (table, column).
+	ColRef = algebra.ColRef
+	// Options tunes the maintenance planner (ablation switches).
+	Options = view.Options
+	// MaintStats reports what one maintenance run did.
+	MaintStats = view.MaintStats
+	// AggSpec describes the group-by of an aggregation view.
+	AggSpec = view.AggSpec
+	// Aggregate is one aggregate output of an aggregation view.
+	Aggregate = algebra.Aggregate
+)
+
+// Value constructors.
+var (
+	// Null is the SQL NULL marker.
+	Null = rel.Null
+)
+
+// Int returns an integer value.
+func Int(v int64) Value { return rel.Int(v) }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return rel.Float(v) }
+
+// Str returns a string value.
+func Str(v string) Value { return rel.Str(v) }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return rel.Bool(v) }
+
+// MustDate parses a YYYY-MM-DD date, panicking on malformed input.
+func MustDate(s string) Value { return rel.MustDate(s) }
+
+// IntCol declares an integer column.
+func IntCol(name string) Column { return Column{Name: name, Kind: rel.KindInt} }
+
+// FloatCol declares a float column.
+func FloatCol(name string) Column { return Column{Name: name, Kind: rel.KindFloat} }
+
+// StrCol declares a string column.
+func StrCol(name string) Column { return Column{Name: name, Kind: rel.KindString} }
+
+// DateCol declares a date column.
+func DateCol(name string) Column { return Column{Name: name, Kind: rel.KindDate} }
+
+// NotNull marks a column NOT NULL (required for foreign-key columns).
+func NotNull(c Column) Column { c.NotNull = true; return c }
+
+// Cols collects column declarations.
+func Cols(cols ...Column) []Column { return cols }
+
+// Predicate constructors.
+
+// Eq returns the equijoin predicate t1.c1 = t2.c2.
+func Eq(t1, c1, t2, c2 string) Pred { return algebra.Eq(t1, c1, t2, c2) }
+
+// CmpOp re-exports the comparison operators.
+const (
+	OpEq = algebra.OpEq
+	OpNe = algebra.OpNe
+	OpLt = algebra.OpLt
+	OpLe = algebra.OpLe
+	OpGt = algebra.OpGt
+	OpGe = algebra.OpGe
+)
+
+// Cmp returns the predicate t.c <op> v for a constant v.
+func Cmp(t, c string, op algebra.CmpOp, v Value) Pred { return algebra.CmpConst(t, c, op, v) }
+
+// And returns the conjunction of predicates.
+func And(ps ...Pred) Pred { return algebra.MakeAnd(ps...) }
+
+// Col names a column as "table", "column".
+func Col(table, column string) ColRef { return algebra.Col(table, column) }
+
+// Columns parses "table.column" strings into column references.
+func Columns(qualified ...string) []ColRef {
+	out := make([]ColRef, len(qualified))
+	for i, q := range qualified {
+		parts := strings.SplitN(q, ".", 2)
+		if len(parts) != 2 {
+			panic(fmt.Sprintf("ojv: column %q is not table.column", q))
+		}
+		out[i] = algebra.Col(parts[0], parts[1])
+	}
+	return out
+}
+
+// Rel is a fluent builder for SPOJ view expressions.
+type Rel struct{ e algebra.Expr }
+
+// Table starts an expression from a base table.
+func Table(name string) Rel { return Rel{e: &algebra.TableRef{Name: name}} }
+
+// Where applies a selection.
+func (r Rel) Where(p Pred) Rel { return Rel{e: &algebra.Select{Input: r.e, Pred: p}} }
+
+// Join inner-joins with another relation.
+func (r Rel) Join(o Rel, on Pred) Rel {
+	return Rel{e: &algebra.Join{Kind: algebra.InnerJoin, Left: r.e, Right: o.e, Pred: on}}
+}
+
+// LeftJoin left-outer-joins with another relation.
+func (r Rel) LeftJoin(o Rel, on Pred) Rel {
+	return Rel{e: &algebra.Join{Kind: algebra.LeftOuterJoin, Left: r.e, Right: o.e, Pred: on}}
+}
+
+// RightJoin right-outer-joins with another relation.
+func (r Rel) RightJoin(o Rel, on Pred) Rel {
+	return Rel{e: &algebra.Join{Kind: algebra.RightOuterJoin, Left: r.e, Right: o.e, Pred: on}}
+}
+
+// FullJoin full-outer-joins with another relation.
+func (r Rel) FullJoin(o Rel, on Pred) Rel {
+	return Rel{e: &algebra.Join{Kind: algebra.FullOuterJoin, Left: r.e, Right: o.e, Pred: on}}
+}
+
+// Expr exposes the underlying algebra expression (for tools and tests
+// within this module).
+func (r Rel) Expr() algebra.Expr { return r.e }
+
+// Count, CountCol, Sum and Avg build aggregates for aggregation views.
+func Count(name string) Aggregate { return Aggregate{Func: algebra.AggCount, Name: name} }
+
+// CountCol counts non-null values of a column.
+func CountCol(c ColRef, name string) Aggregate {
+	return Aggregate{Func: algebra.AggCount, Col: c, Name: name}
+}
+
+// Sum sums a column.
+func Sum(c ColRef, name string) Aggregate { return Aggregate{Func: algebra.AggSum, Col: c, Name: name} }
+
+// Avg averages a column.
+func Avg(c ColRef, name string) Aggregate { return Aggregate{Func: algebra.AggAvg, Col: c, Name: name} }
+
+// Database owns a catalog of base tables and the materialized views
+// registered over them. Every Insert/Delete maintains all registered views
+// incrementally, in the same call — the role the paper's triggers play.
+//
+// A Database is safe for concurrent use: updates (Insert, Delete, Update,
+// CreateView, DDL) serialize behind a write lock, and view reads take a
+// shared read lock, so readers always observe a view state consistent with
+// the base tables.
+type Database struct {
+	mu    sync.RWMutex
+	cat   *rel.Catalog
+	views map[string]*View
+	order []string
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{cat: rel.NewCatalog(), views: make(map[string]*View)}
+}
+
+// Catalog exposes the underlying catalog (for tools within this module).
+func (db *Database) Catalog() *rel.Catalog { return db.cat }
+
+// WrapCatalog adopts an existing catalog (e.g. a generated TPC-H database).
+func WrapCatalog(cat *rel.Catalog) *Database {
+	return &Database{cat: cat, views: make(map[string]*View)}
+}
+
+// CreateTable creates a base table with the given unique key.
+func (db *Database) CreateTable(name string, cols []Column, key ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, err := db.cat.CreateTable(name, cols, key...)
+	return err
+}
+
+// MustCreateTable is CreateTable that panics on error, for fixtures.
+func (db *Database) MustCreateTable(name string, cols []Column, key ...string) {
+	if err := db.CreateTable(name, cols, key...); err != nil {
+		panic(err)
+	}
+}
+
+// AddForeignKey declares and enforces a foreign key; the maintenance
+// planner exploits it (paper Section 6).
+func (db *Database) AddForeignKey(table string, cols []string, refTable string, refCols []string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cat.AddForeignKey(table, cols, refTable, refCols)
+}
+
+// CreateIndex builds a secondary hash index.
+func (db *Database) CreateIndex(table, name string, cols ...string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.cat.Table(table)
+	if t == nil {
+		return fmt.Errorf("ojv: unknown table %s", table)
+	}
+	_, err := t.CreateIndex(name, cols...)
+	return err
+}
+
+// View is a registered materialized view.
+type View struct {
+	name string
+	db   *Database
+	m    *view.Maintainer
+	// LastStats records the most recent maintenance run.
+	LastStats *MaintStats
+}
+
+// CreateView defines, validates and materializes an SPOJ view and registers
+// it for incremental maintenance.
+func (db *Database) CreateView(name string, r Rel, output []ColRef, opts ...Options) (*View, error) {
+	def, err := view.Define(db.cat, name, r.e, output)
+	if err != nil {
+		return nil, err
+	}
+	return db.register(name, def, opts)
+}
+
+// CreateAggregateView defines an aggregation view (SPOJ core + group-by).
+func (db *Database) CreateAggregateView(name string, r Rel, spec AggSpec, opts ...Options) (*View, error) {
+	def, err := view.DefineAggregate(db.cat, name, r.e, spec)
+	if err != nil {
+		return nil, err
+	}
+	return db.register(name, def, opts)
+}
+
+func (db *Database) register(name string, def *view.Definition, opts []Options) (*View, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.views[name]; dup {
+		return nil, fmt.Errorf("ojv: view %s already exists", name)
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	m, err := view.NewMaintainer(def, o)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Materialize(); err != nil {
+		return nil, err
+	}
+	v := &View{name: name, db: db, m: m}
+	db.views[name] = v
+	db.order = append(db.order, name)
+	return v, nil
+}
+
+// View returns a registered view by name, or nil.
+func (db *Database) View(name string) *View {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.views[name]
+}
+
+// Query evaluates an SPOJ expression, answering from a registered
+// materialized view when one has the same join-disjunctive normal form
+// (different join orders and commuted outer joins still match; this is the
+// exact-match case of the view-matching problem). The result carries the
+// requested output columns; the second result names the view used, or ""
+// when the query was computed from base tables.
+func (db *Database) Query(r Rel, output []ColRef) ([]Row, string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, name := range db.order {
+		v := db.views[name]
+		mv := v.m.Materialized()
+		if mv == nil || !mv.Definition().Matches(r.e) {
+			continue
+		}
+		// Project the view rows onto the requested output.
+		sch := mv.Schema()
+		cols := make([]int, len(output))
+		usable := true
+		for i, c := range output {
+			p := sch.IndexOf(c.Table, c.Column)
+			if p < 0 {
+				usable = false
+				break
+			}
+			cols[i] = p
+		}
+		if !usable {
+			continue // the view matches but lacks a requested column
+		}
+		rows := mv.Rows()
+		out := make([]Row, len(rows))
+		for i, row := range rows {
+			out[i] = row.Project(cols)
+		}
+		return out, name, nil
+	}
+	// No view: evaluate from base tables.
+	res, err := exec.Eval(&exec.Context{Catalog: db.cat}, &algebra.Project{Input: r.e, Cols: output})
+	if err != nil {
+		return nil, "", err
+	}
+	return res.Rows, "", nil
+}
+
+// Save writes a snapshot of the base tables (schemas, keys, foreign keys,
+// indexes and rows). Views are not part of the snapshot: re-create them
+// after OpenSnapshot — they materialize from the restored tables.
+func (db *Database) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cat.Save(w)
+}
+
+// OpenSnapshot restores a database written by Save. All constraints are
+// re-validated during the load.
+func OpenSnapshot(r io.Reader) (*Database, error) {
+	cat, err := rel.LoadCatalog(r)
+	if err != nil {
+		return nil, err
+	}
+	return WrapCatalog(cat), nil
+}
+
+// Insert inserts rows into a base table and incrementally maintains every
+// registered view.
+func (db *Database) Insert(table string, rows []Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.cat.Insert(table, rows); err != nil {
+		return err
+	}
+	for _, name := range db.order {
+		v := db.views[name]
+		stats, err := v.m.OnInsert(table, rows)
+		if err != nil {
+			return fmt.Errorf("ojv: maintaining view %s: %w", name, err)
+		}
+		v.LastStats = stats
+	}
+	return nil
+}
+
+// Delete removes the rows with the given keys from a base table and
+// incrementally maintains every registered view. It returns the deleted
+// rows.
+func (db *Database) Delete(table string, keys [][]Value) ([]Row, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	deleted, err := db.cat.Delete(table, keys)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range db.order {
+		v := db.views[name]
+		stats, err := v.m.OnDelete(table, deleted)
+		if err != nil {
+			return nil, fmt.Errorf("ojv: maintaining view %s: %w", name, err)
+		}
+		v.LastStats = stats
+	}
+	return deleted, nil
+}
+
+// Update replaces a row in place (the key must not change). For view
+// maintenance the update is decomposed into a delete plus an insert with
+// the foreign-key optimizations disabled, per the paper's first exclusion
+// in Section 6.
+func (db *Database) Update(table string, key []Value, newRow Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	old, err := db.cat.Update(table, key, newRow)
+	if err != nil {
+		return err
+	}
+	for _, name := range db.order {
+		v := db.views[name]
+		stats, err := v.m.OnModify(table, []Row{old}, []Row{newRow})
+		if err != nil {
+			return fmt.Errorf("ojv: maintaining view %s: %w", name, err)
+		}
+		v.LastStats = stats
+	}
+	return nil
+}
+
+// Name returns the view's name.
+func (v *View) Name() string { return v.name }
+
+// Rows returns the current view contents. For aggregation views these are
+// the group rows with SQL aggregate semantics.
+func (v *View) Rows() []Row {
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	if a := v.m.Aggregated(); a != nil {
+		return a.Rows()
+	}
+	return v.m.Materialized().Rows()
+}
+
+// Len returns the number of rows (or groups) in the view.
+func (v *View) Len() int {
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	if a := v.m.Aggregated(); a != nil {
+		return a.Len()
+	}
+	return v.m.Materialized().Len()
+}
+
+// Schema returns the view's output schema.
+func (v *View) Schema() Schema {
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	if a := v.m.Aggregated(); a != nil {
+		return a.Schema()
+	}
+	return v.m.Materialized().Schema()
+}
+
+// TermCardinality returns the number of view rows whose source-table set is
+// exactly the given set (per-term statistics, as in the paper's Table 1).
+// It returns 0 for aggregation views.
+func (v *View) TermCardinality(tables ...string) int {
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	if v.m.Materialized() == nil {
+		return 0
+	}
+	return v.m.Materialized().TermCardinality(tables)
+}
+
+// Check verifies the view against full recomputation (two independent
+// oracles); it is exposed for tests and tools.
+func (v *View) Check() error {
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	return view.Check(v.m)
+}
+
+// Maintainer exposes the underlying maintainer (for tools and benchmarks
+// within this module).
+func (v *View) Maintainer() *view.Maintainer { return v.m }
+
+// ExplainMaintenance renders the maintenance plan for updates to a table as
+// the paper's Q1..Qn SQL-like statements (Section 7). It takes the write
+// lock: rendering may compile and cache the plan.
+func (v *View) ExplainMaintenance(table string, insert bool) (string, error) {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.m.MaintenanceScript(table, insert)
+}
+
+// Select returns the view rows for which the predicate is true — a simple
+// query interface over the maintained view (the reason to materialize it in
+// the first place).
+func (v *View) Select(p Pred) ([]Row, error) {
+	v.db.mu.RLock()
+	defer v.db.mu.RUnlock()
+	var sch Schema
+	if a := v.m.Aggregated(); a != nil {
+		sch = a.Schema()
+	} else {
+		sch = v.m.Materialized().Schema()
+	}
+	f, err := p.Compile(sch)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	if a := v.m.Aggregated(); a != nil {
+		rows = a.Rows()
+	} else {
+		rows = v.m.Materialized().Rows()
+	}
+	var out []Row
+	for _, r := range rows {
+		if f(r) == algebra.True {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package ojv_test
+
+import (
+	"testing"
+
+	"ojv"
+)
+
+func TestQueryAnsweredFromView(t *testing.T) {
+	db := newShopDB(t)
+	shopView(t, db)
+	// The same expression, written with commuted operands, is answered from
+	// the view.
+	q := ojv.Table("customer").LeftJoin(
+		ojv.Table("lineitem").RightJoin(ojv.Table("orders"),
+			ojv.Eq("lineitem", "lok", "orders", "ok")),
+		ojv.Eq("orders", "ock", "customer", "ck"))
+	rows, used, err := db.Query(q, ojv.Columns("customer.ck", "orders.ok", "lineitem.ln"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != "shop" {
+		t.Errorf("query should be answered from the view, used=%q", used)
+	}
+	if len(rows) == 0 || len(rows[0]) != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+
+	// A different query falls back to base tables — and both paths agree.
+	q2 := ojv.Table("customer").Join(ojv.Table("orders"),
+		ojv.Eq("customer", "ck", "orders", "ock"))
+	rows2, used2, err := db.Query(q2, ojv.Columns("customer.ck", "orders.ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used2 != "" {
+		t.Errorf("inner-join query must not match the outer-join view, used=%q", used2)
+	}
+	if len(rows2) != 2 {
+		t.Errorf("base-table query rows = %v", rows2)
+	}
+
+	// View-answered and base-computed results agree for the matching query.
+	direct, used3, err := db.Query(q, ojv.Columns("customer.ck", "orders.ok", "lineitem.ln"))
+	if err != nil || used3 != "shop" {
+		t.Fatal(err, used3)
+	}
+	if len(direct) != len(rows) {
+		t.Errorf("row counts differ: %d vs %d", len(direct), len(rows))
+	}
+
+	// Requesting a column the view does not output falls back to base
+	// tables.
+	rows4, used4, err := db.Query(q, ojv.Columns("orders.day"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used4 != "" {
+		t.Errorf("missing output column must bypass the view, used=%q", used4)
+	}
+	if len(rows4) != len(rows) {
+		t.Errorf("fallback rows = %d, want %d", len(rows4), len(rows))
+	}
+
+	// The view-answered result stays fresh under updates.
+	if err := db.Insert("lineitem", []ojv.Row{{ojv.Int(11), ojv.Int(1), ojv.Int(5)}}); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := db.Query(q, ojv.Columns("customer.ck", "orders.ok", "lineitem.ln"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(rows) {
+		// Order 11 previously had no lineitem: the null-extended row is
+		// replaced by the joined one, so the count stays equal.
+		t.Errorf("after insert: %d rows, want %d", len(after), len(rows))
+	}
+	found := false
+	for _, r := range after {
+		if !r[2].IsNull() && r[1].Equal(ojv.Int(11)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("freshly inserted lineitem not visible through Query")
+	}
+}
+
+func TestQueryErrorPropagation(t *testing.T) {
+	db := newShopDB(t)
+	q := ojv.Table("nosuch")
+	if _, _, err := db.Query(q, ojv.Columns("nosuch.x")); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
