@@ -12,7 +12,9 @@ import (
 	"testing"
 
 	"ojv"
+	"ojv/internal/algebra"
 	"ojv/internal/bench"
+	"ojv/internal/exec"
 	"ojv/internal/fixture"
 	"ojv/internal/rel"
 	"ojv/internal/tpch"
@@ -248,6 +250,63 @@ func BenchmarkAblationOrphanIndex(b *testing.B) {
 				}
 				b.StopTimer()
 				if _, err := s.InsertBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkHashJoinBuild measures the equijoin hash-table build and probe
+// path; run with -benchmem to see the effect of the scratch-buffer key
+// hashing (the build and probe loops allocate no per-row key strings).
+func BenchmarkHashJoinBuild(b *testing.B) {
+	mkRel := func(table string, n, keys int) exec.Relation {
+		r := exec.Relation{Schema: rel.Schema{
+			{Table: table, Name: "k", Kind: rel.KindInt},
+			{Table: table, Name: "v", Kind: rel.KindInt},
+		}}
+		for i := 0; i < n; i++ {
+			r.Rows = append(r.Rows, rel.Row{rel.Int(int64(i % keys)), rel.Int(int64(i))})
+		}
+		return r
+	}
+	left := mkRel("t", 4000, 1000)
+	right := mkRel("u", 4000, 1000)
+	pred := algebra.Eq("t", "k", "u", "k")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := exec.JoinRelations(algebra.InnerJoin, left, right, pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Rows) == 0 {
+			b.Fatal("empty join result")
+		}
+	}
+}
+
+// BenchmarkParallelMaintenance measures the V3 insert workload at explicit
+// worker counts; on a multi-core machine higher counts shorten the delta
+// evaluation (on a single core all settings degenerate to the serial path).
+func BenchmarkParallelMaintenance(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			n := bench.ScaleN(60000, benchSF)
+			s, err := bench.NewSetupWith(benchSF, 1, bench.MethodOJV, n,
+				view.Options{Parallelism: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := s.TakeHeldOut()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.InsertBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if _, err := s.DeleteBatch(batch); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -30,8 +32,10 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (the paper runs SF=1)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	reps := flag.Int("reps", 3, "repetitions per measured point (median reported)")
+	workers := flag.Int("workers", 0, "maintenance parallelism (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	benchReps = *reps
+	benchOpts = view.Options{Parallelism: *workers}
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -51,16 +55,36 @@ func main() {
 
 var benchReps = 3
 
+// benchOpts carries the -workers setting into every non-GK experiment.
+var benchOpts view.Options
+
+// emitBench prints one machine-readable result line per experiment, tagged
+// with the worker setting and GOMAXPROCS so runs on different machines and
+// flag combinations can be compared. Durations marshal as nanoseconds.
+func emitBench(experiment string, data any) {
+	b, err := json.Marshal(map[string]any{
+		"experiment": experiment,
+		"workers":    benchOpts.Parallelism,
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"data":       data,
+	})
+	if err != nil {
+		return
+	}
+	fmt.Printf("BENCH %s\n", b)
+}
+
 // scaling runs the extension experiment: a fixed insert batch against a
 // growing database.
 func scaling() error {
 	fmt.Println("== Scaling (extension): insert 120 lineitems while the database grows ==")
 	sfs := []float64{0.002, 0.005, 0.01, 0.02, 0.04}
 	methods := []bench.Method{bench.MethodCore, bench.MethodOJV, bench.MethodGK}
-	results, err := bench.RunScaling(sfs, 120, methods, benchReps, nil)
+	results, err := bench.RunScalingOpts(sfs, 120, methods, benchReps, benchOpts, nil)
 	if err != nil {
 		return err
 	}
+	emitBench("scaling", results)
 	fmt.Printf("%-10s", "SF")
 	for _, m := range methods {
 		fmt.Printf(" %16s", m)
@@ -84,10 +108,11 @@ func scaling() error {
 func table1(sf float64, seed int64) error {
 	fmt.Printf("== Table 1: terms in view V3 and rows affected when inserting %d lineitem rows (SF=%g) ==\n",
 		bench.ScaleN(60000, sf), sf)
-	rows, err := bench.Table1(sf, seed)
+	rows, err := bench.Table1Opts(sf, seed, benchOpts)
 	if err != nil {
 		return err
 	}
+	emitBench("table1", rows)
 	fmt.Printf("%-6s %14s %14s %20s %16s\n", "Term", "Cardinality", "Affected", "Paper cardinality", "Paper affected")
 	for i, r := range rows {
 		p := bench.Table1Paper[i]
@@ -103,10 +128,15 @@ func fig5(sf float64, seed int64, insert bool) error {
 		label, verb = "Figure 5(b)", "deleted"
 	}
 	fmt.Printf("== %s: maintenance cost for V3, lineitem rows %s (SF=%g) ==\n", label, verb, sf)
-	results, err := bench.RunFig5(sf, seed, insert, bench.Fig5Methods, benchReps, nil)
+	results, err := bench.RunFig5Opts(sf, seed, insert, bench.Fig5Methods, benchReps, benchOpts, nil)
 	if err != nil {
 		return err
 	}
+	name := "fig5a"
+	if !insert {
+		name = "fig5b"
+	}
+	emitBench(name, results)
 	fmt.Printf("%-10s", "paperN")
 	for _, m := range bench.Fig5Methods {
 		fmt.Printf(" %16s", m)
@@ -134,7 +164,7 @@ func ablations(sf float64, seed int64) error {
 	for _, method := range []bench.Method{bench.MethodOJV, bench.MethodOJVBase} {
 		el, err := medianOf(benchReps, func() (time.Duration, error) {
 			n := bench.ScaleN(60000, sf)
-			s, err := bench.NewSetup(sf, seed, method, n)
+			s, err := bench.NewSetupWith(sf, seed, method, n, benchOpts)
 			if err != nil {
 				return 0, err
 			}
@@ -169,6 +199,7 @@ func ablations(sf float64, seed int64) error {
 		{"no-fk-simplify", view.Options{DisableFKSimplify: true}},
 	} {
 		opts := cfg.opts
+		opts.Parallelism = benchOpts.Parallelism
 		el, err := medianOf(benchReps, func() (time.Duration, error) { return v1Insert(opts) })
 		if err != nil {
 			return err
@@ -197,7 +228,11 @@ func medianOf(n int, f func() (time.Duration, error)) (time.Duration, error) {
 }
 
 func customerInsert(sf float64, seed int64, disableFKGraph bool) (time.Duration, error) {
-	s, err := bench.NewSetupOpts(sf, seed, view.Options{DisableFKGraph: disableFKGraph, DisableFKSimplify: disableFKGraph})
+	s, err := bench.NewSetupOpts(sf, seed, view.Options{
+		DisableFKGraph:    disableFKGraph,
+		DisableFKSimplify: disableFKGraph,
+		Parallelism:       benchOpts.Parallelism,
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -66,6 +66,11 @@ var Table1Paper = []Table1Row{
 // scaled batch of lineitem rows and records how many rows of each term the
 // insertion affected.
 func Table1(sf float64, seed int64) ([]Table1Row, error) {
+	return Table1Opts(sf, seed, view.Options{})
+}
+
+// Table1Opts is Table1 with explicit maintenance options.
+func Table1Opts(sf float64, seed int64, opts view.Options) ([]Table1Row, error) {
 	db, err := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: seed})
 	if err != nil {
 		return nil, err
@@ -80,7 +85,7 @@ func Table1(sf float64, seed int64) ([]Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := view.NewMaintainer(def, view.Options{})
+	m, err := view.NewMaintainer(def, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +205,13 @@ type Setup struct {
 // before materialization and re-inserted by RunInsert, reproducing the
 // paper's insertion workload.
 func NewSetup(sf float64, seed int64, method Method, holdOut int) (*Setup, error) {
+	return NewSetupWith(sf, seed, method, holdOut, view.Options{})
+}
+
+// NewSetupWith is NewSetup with explicit base maintenance options (e.g. a
+// Parallelism setting); the method still controls the view shape and forces
+// its own Strategy. The GK baseline ignores the options.
+func NewSetupWith(sf float64, seed int64, method Method, holdOut int, base view.Options) (*Setup, error) {
 	db, err := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: seed})
 	if err != nil {
 		return nil, err
@@ -223,7 +235,8 @@ func NewSetup(sf float64, seed int64, method Method, holdOut int) (*Setup, error
 		s.Target = gkView{v}
 	default:
 		expr := tpch.V3Expr()
-		opts := view.Options{}
+		opts := base
+		opts.Strategy = view.StrategyAuto
 		if method == MethodCore {
 			expr = tpch.V3CoreExpr()
 		}
@@ -352,6 +365,12 @@ func (s *Setup) RunDelete(n int) (Fig5Result, error) {
 // reported (single-shot timings at microsecond scale are dominated by GC
 // and cache warm-up noise).
 func RunFig5(sf float64, seed int64, insert bool, methods []Method, reps int, out io.Writer) ([]Fig5Result, error) {
+	return RunFig5Opts(sf, seed, insert, methods, reps, view.Options{}, out)
+}
+
+// RunFig5Opts is RunFig5 with explicit base maintenance options applied to
+// every non-GK method.
+func RunFig5Opts(sf float64, seed int64, insert bool, methods []Method, reps int, base view.Options, out io.Writer) ([]Fig5Result, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -366,7 +385,7 @@ func RunFig5(sf float64, seed int64, insert bool, methods []Method, reps int, ou
 				if insert {
 					holdOut = n
 				}
-				s, err := NewSetup(sf, seed, method, holdOut)
+				s, err := NewSetupWith(sf, seed, method, holdOut, base)
 				if err != nil {
 					return nil, err
 				}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"ojv/internal/view"
 )
 
 // ScalingResult is one point of the scaling extension experiment.
@@ -22,6 +24,12 @@ type ScalingResult struct {
 // change propagation joins whole base-table subexpressions and should grow
 // linearly.
 func RunScaling(sfs []float64, batch int, methods []Method, reps int, out io.Writer) ([]ScalingResult, error) {
+	return RunScalingOpts(sfs, batch, methods, reps, view.Options{}, out)
+}
+
+// RunScalingOpts is RunScaling with explicit base maintenance options
+// applied to every non-GK method.
+func RunScalingOpts(sfs []float64, batch int, methods []Method, reps int, base view.Options, out io.Writer) ([]ScalingResult, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -30,7 +38,7 @@ func RunScaling(sfs []float64, batch int, methods []Method, reps int, out io.Wri
 		for _, method := range methods {
 			var times []time.Duration
 			for rep := 0; rep < reps; rep++ {
-				s, err := NewSetup(sf, 1, method, batch)
+				s, err := NewSetupWith(sf, 1, method, batch, base)
 				if err != nil {
 					return nil, err
 				}

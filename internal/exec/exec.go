@@ -10,6 +10,11 @@
 // nested loop otherwise. This reproduces the physical behaviour the paper
 // relies on — a small delta on the left of a left-deep tree makes
 // maintenance cost proportional to the delta, not the base tables.
+//
+// Evaluation is partition-parallel when Context.Parallelism allows it: the
+// two inputs of a join evaluate concurrently, and large hash joins build
+// per-worker partitions and probe in morsels (see partition.go). Every
+// setting produces identical rows in identical order.
 package exec
 
 import (
@@ -38,6 +43,12 @@ type Context struct {
 	DeltaIsInsert bool
 	// Rels binds RelRef leaves to materialized relations.
 	Rels map[string]Relation
+	// Parallelism caps the worker goroutines evaluation may use for
+	// partitioned hash joins and concurrent subtree evaluation. 0 (the
+	// zero value) means runtime.GOMAXPROCS(0); 1 forces serial execution.
+	// Results are deterministic — identical rows in identical order — at
+	// every setting.
+	Parallelism int
 }
 
 // TableSchema implements algebra.SchemaResolver. RelRef bindings shadow

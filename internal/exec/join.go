@@ -8,9 +8,11 @@ import (
 )
 
 // evalJoin evaluates a join node, picking index-nested-loop, hash, or
-// nested-loop execution.
+// nested-loop execution. The physical decision needs only the input
+// schemas, so when no index probe applies the two inputs — independent
+// subtrees — are evaluated concurrently under the context's worker budget.
 func evalJoin(ctx *Context, n *algebra.Join) (Relation, error) {
-	left, err := Eval(ctx, n.Left)
+	leftSchema, err := algebra.SchemaOf(n.Left, ctx)
 	if err != nil {
 		return Relation{}, err
 	}
@@ -18,7 +20,7 @@ func evalJoin(ctx *Context, n *algebra.Join) (Relation, error) {
 	if err != nil {
 		return Relation{}, err
 	}
-	concat := left.Schema.Concat(rightSchema)
+	concat := leftSchema.Concat(rightSchema)
 	pred, err := n.Pred.Compile(concat)
 	if err != nil {
 		return Relation{}, err
@@ -29,19 +31,26 @@ func evalJoin(ctx *Context, n *algebra.Join) (Relation, error) {
 	// rows, when the right operand is a (selected) base table with a hash
 	// index (or the unique key) on exactly the equijoin columns.
 	if n.Kind != algebra.RightOuterJoin && n.Kind != algebra.FullOuterJoin && len(pairs) > 0 {
-		if probe, ok, err := makeIndexProbe(ctx, n.Right, left.Schema, pairs); err != nil {
+		if probe, ok, err := makeIndexProbe(ctx, n.Right, leftSchema, pairs); err != nil {
 			return Relation{}, err
 		} else if ok {
+			left, err := Eval(ctx, n.Left)
+			if err != nil {
+				return Relation{}, err
+			}
 			return joinWithProbe(n.Kind, left, rightSchema, concat, pred, probe)
 		}
 	}
 
-	right, err := Eval(ctx, n.Right)
-	if err != nil {
+	var left, right Relation
+	if err := runTasks(ctx.workers(),
+		func() error { var e error; left, e = Eval(ctx, n.Left); return e },
+		func() error { var e error; right, e = Eval(ctx, n.Right); return e },
+	); err != nil {
 		return Relation{}, err
 	}
 	if len(pairs) > 0 {
-		return hashJoin(n.Kind, left, right, concat, pred, pairs)
+		return hashJoin(ctx.workers(), n.Kind, left, right, concat, pred, pairs)
 	}
 	return nestedLoopJoin(n.Kind, left, right, concat, pred)
 }
@@ -129,7 +138,7 @@ func makeIndexProbe(ctx *Context, right algebra.Expr, leftSchema rel.Schema, pai
 			buildDeltaIndex(rightOffsets)
 		}
 	}
-	adjust := func(rows []rel.Row, probeKey string) []rel.Row {
+	adjust := func(rows []rel.Row, probeKey []byte) []rel.Row {
 		if excludeKeys == nil && deltaByProbe == nil && selFn == nil {
 			return rows
 		}
@@ -141,7 +150,7 @@ func makeIndexProbe(ctx *Context, right algebra.Expr, leftSchema rel.Schema, pai
 			out = append(out, r)
 		}
 		if deltaByProbe != nil {
-			out = append(out, deltaByProbe[probeKey]...)
+			out = append(out, deltaByProbe[string(probeKey)]...)
 		}
 		if selFn != nil {
 			kept := out[:0]
@@ -164,18 +173,24 @@ func makeIndexProbe(ctx *Context, right algebra.Expr, leftSchema rel.Schema, pai
 		if deltaByProbe != nil {
 			buildDeltaIndex(t.KeyCols()) // re-key the delta in key-column order
 		}
+		// keyBuf and oneRow are per-probe scratch: the closure is called
+		// serially per left row, so reusing them avoids a key string and a
+		// one-element slice allocation on every probe.
+		var keyBuf []byte
+		oneRow := make([]rel.Row, 1)
 		return func(l rel.Row) ([]rel.Row, bool) {
 			for _, c := range probeCols {
 				if l[c].IsNull() {
 					return nil, false
 				}
 			}
-			k := rel.EncodeRowCols(l, probeCols)
-			row, ok := t.GetEncoded(k)
+			keyBuf = rel.AppendRowCols(keyBuf[:0], l, probeCols)
+			row, ok := t.GetEncodedBytes(keyBuf)
 			if !ok {
-				return adjust(nil, k), true
+				return adjust(nil, keyBuf), true
 			}
-			return adjust([]rel.Row{row}, k), true
+			oneRow[0] = row
+			return adjust(oneRow, keyBuf), true
 		}, true, nil
 	}
 	if ix := t.IndexOnSet(rightOffsets); ix != nil {
@@ -186,14 +201,15 @@ func makeIndexProbe(ctx *Context, right algebra.Expr, leftSchema rel.Schema, pai
 		if deltaByProbe != nil {
 			buildDeltaIndex(ix.Cols()) // re-key the delta in index-column order
 		}
+		var keyBuf []byte
 		return func(l rel.Row) ([]rel.Row, bool) {
 			for _, c := range probeCols {
 				if l[c].IsNull() {
 					return nil, false
 				}
 			}
-			k := rel.EncodeRowCols(l, probeCols)
-			return adjust(ix.Lookup(k), k), true
+			keyBuf = rel.AppendRowCols(keyBuf[:0], l, probeCols)
+			return adjust(ix.LookupBytes(keyBuf), keyBuf), true
 		}, true, nil
 	}
 	return nil, false, nil
@@ -219,7 +235,7 @@ func JoinRelations(kind algebra.JoinKind, left, right Relation, pred algebra.Pre
 	}
 	pairs, _ := algebra.EquiPairs(pred, leftTabs, rightTabs)
 	if len(pairs) > 0 {
-		return hashJoin(kind, left, right, concat, f, pairs)
+		return hashJoin(1, kind, left, right, concat, f, pairs)
 	}
 	return nestedLoopJoin(kind, left, right, concat, f)
 }
@@ -298,27 +314,39 @@ func nullExtendLeft(r rel.Row, nLeft int) rel.Row {
 }
 
 // hashJoin handles every join kind by hashing the right input on the
-// equijoin columns and probing with the left.
-func hashJoin(kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, pairs [][2]algebra.ColRef) (Relation, error) {
+// equijoin columns and probing with the left. Buckets are keyed by the
+// uint64 prehash of the equijoin columns, computed into a reusable scratch
+// buffer so neither the build nor the probe side allocates a key per row;
+// hash collisions only add candidates the join predicate filters out.
+// With workers > 1 and large enough inputs the join switches to the
+// partition-parallel path, which produces an identical result.
+func hashJoin(workers int, kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, pairs [][2]algebra.ColRef) (Relation, error) {
 	leftCols := make([]int, len(pairs))
 	rightCols := make([]int, len(pairs))
 	for i, p := range pairs {
 		leftCols[i] = left.Schema.MustIndexOf(p[0].Table, p[0].Column)
 		rightCols[i] = right.Schema.MustIndexOf(p[1].Table, p[1].Column)
 	}
-	table := make(map[string][]int, len(right.Rows))
+	if workers > 1 && len(left.Rows)+len(right.Rows) >= partitionedJoinMinRows {
+		return partitionedHashJoin(workers, kind, left, right, concat, pred, leftCols, rightCols)
+	}
+	table := make(map[uint64][]int, len(right.Rows))
+	var buf []byte
 	for i, r := range right.Rows {
 		if anyNull(r, rightCols) {
 			continue // a NULL key never matches
 		}
-		k := rel.EncodeRowCols(r, rightCols)
-		table[k] = append(table[k], i)
+		var h uint64
+		h, buf = rel.HashRowCols(r, rightCols, buf)
+		table[h] = append(table[h], i)
 	}
 	probe := func(l rel.Row) []int {
 		if anyNull(l, leftCols) {
 			return nil
 		}
-		return table[rel.EncodeRowCols(l, leftCols)]
+		var h uint64
+		h, buf = rel.HashRowCols(l, leftCols, buf)
+		return table[h]
 	}
 	return genericJoin(kind, left, right, concat, pred, probe)
 }
@@ -339,6 +367,14 @@ func genericJoin(kind algebra.JoinKind, left, right Relation, concat rel.Schema,
 	out := Relation{Schema: concat}
 	if kind == algebra.SemiJoin || kind == algebra.AntiJoin {
 		out.Schema = left.Schema
+	}
+	// Preallocate the guaranteed lower bound of the output size, so large
+	// primary deltas do not regrow the slice log(n) times.
+	switch kind {
+	case algebra.LeftOuterJoin, algebra.FullOuterJoin:
+		out.Rows = make([]rel.Row, 0, len(left.Rows))
+	case algebra.RightOuterJoin:
+		out.Rows = make([]rel.Row, 0, len(right.Rows))
 	}
 	var matchedRight []bool
 	if kind == algebra.RightOuterJoin || kind == algebra.FullOuterJoin {

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"ojv/internal/algebra"
+	"ojv/internal/rel"
+)
+
+// Partition-parallel hash join. The build side is prehashed in parallel
+// morsels, split into one partition (and one bucket map) per worker, and
+// the probe side is processed in contiguous morsels by a worker pool. The
+// result is identical, row for row, to the serial hashJoin:
+//
+//   - bucket candidate lists hold right-row indexes in ascending order
+//     (each partition is built by one worker scanning the prehash array in
+//     input order), so per-left-row match order matches the serial join;
+//   - per-morsel output chunks are concatenated in morsel (= left-row)
+//     order;
+//   - unmatched right rows (right/full outer) are appended last in
+//     right-row order, after OR-merging the per-worker matched bitmaps.
+//
+// Buckets are keyed by the uint64 prehash of the equijoin columns; hash
+// collisions only add candidates that the join predicate — which always
+// contains the equijoin conjuncts — filters out, exactly as it does in the
+// serial join.
+
+// probeMorsel is the number of probe-side rows per unit of work handed to
+// the pool.
+const probeMorsel = 512
+
+// partitionedJoinMinRows gates the partitioned path: below this total input
+// size the setup cost outweighs the parallelism.
+const partitionedJoinMinRows = 1024
+
+// partitionedHashJoin runs the morsel-parallel hash join. workers must be
+// >= 2 (callers fall back to the serial hashJoin otherwise).
+func partitionedHashJoin(workers int, kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, leftCols, rightCols []int) (Relation, error) {
+	nPart := uint64(workers)
+
+	// Phase 1: prehash the build side in parallel morsels. part[i] < 0
+	// marks a NULL equijoin key (never matches, left out of every bucket).
+	hashes := make([]uint64, len(right.Rows))
+	part := make([]int32, len(right.Rows))
+	forChunks(workers, len(right.Rows), probeMorsel, func(_, _, lo, hi int) {
+		var buf []byte
+		for i := lo; i < hi; i++ {
+			r := right.Rows[i]
+			if anyNull(r, rightCols) {
+				part[i] = -1
+				continue
+			}
+			var h uint64
+			h, buf = rel.HashRowCols(r, rightCols, buf)
+			hashes[i] = h
+			part[i] = int32(h % nPart)
+		}
+	})
+
+	// Phase 2: each worker owns one partition and scans the prehash array
+	// in input order, so bucket lists keep ascending row indexes.
+	buckets := make([]map[uint64][]int32, nPart)
+	forChunks(workers, int(nPart), 1, func(_, p, _, _ int) {
+		m := make(map[uint64][]int32)
+		for i, pi := range part {
+			if pi == int32(p) {
+				m[hashes[i]] = append(m[hashes[i]], int32(i))
+			}
+		}
+		buckets[p] = m
+	})
+
+	// Phase 3: probe in morsels. Each morsel appends to its own output
+	// chunk; right-row match flags go to a per-worker bitmap.
+	outSchema := concat
+	if kind == algebra.SemiJoin || kind == algebra.AntiJoin {
+		outSchema = left.Schema
+	}
+	needMatchedRight := kind == algebra.RightOuterJoin || kind == algebra.FullOuterJoin
+	var workerMatched [][]bool
+	if needMatchedRight {
+		workerMatched = make([][]bool, workers)
+	}
+	nchunks := (len(left.Rows) + probeMorsel - 1) / probeMorsel
+	chunks := make([][]rel.Row, nchunks)
+	forChunks(workers, len(left.Rows), probeMorsel, func(w, ci, lo, hi int) {
+		var buf []byte
+		rowBuf := make(rel.Row, len(left.Schema)+len(right.Schema))
+		var matchedRight []bool
+		if needMatchedRight {
+			if workerMatched[w] == nil {
+				workerMatched[w] = make([]bool, len(right.Rows))
+			}
+			matchedRight = workerMatched[w]
+		}
+		var out []rel.Row
+		if kind == algebra.LeftOuterJoin || kind == algebra.FullOuterJoin {
+			out = make([]rel.Row, 0, hi-lo)
+		}
+		for _, l := range left.Rows[lo:hi] {
+			matched := false
+			if !anyNull(l, leftCols) {
+				var h uint64
+				h, buf = rel.HashRowCols(l, leftCols, buf)
+				for _, idx := range buckets[h%nPart][h] {
+					r := right.Rows[idx]
+					copy(rowBuf, l)
+					copy(rowBuf[len(l):], r)
+					if pred(rowBuf) != algebra.True {
+						continue
+					}
+					matched = true
+					if matchedRight != nil {
+						matchedRight[idx] = true
+					}
+					switch kind {
+					case algebra.InnerJoin, algebra.LeftOuterJoin, algebra.RightOuterJoin, algebra.FullOuterJoin:
+						out = append(out, rowBuf.Clone())
+					}
+				}
+			}
+			switch kind {
+			case algebra.LeftOuterJoin, algebra.FullOuterJoin:
+				if !matched {
+					out = append(out, nullExtendRight(l, len(right.Schema)))
+				}
+			case algebra.SemiJoin:
+				if matched {
+					out = append(out, l)
+				}
+			case algebra.AntiJoin:
+				if !matched {
+					out = append(out, l)
+				}
+			}
+		}
+		chunks[ci] = out
+	})
+
+	// Phase 4: concatenate chunks in morsel order, then emit unmatched
+	// right rows for right/full outer joins.
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	res := Relation{Schema: outSchema, Rows: make([]rel.Row, 0, total)}
+	for _, c := range chunks {
+		res.Rows = append(res.Rows, c...)
+	}
+	if needMatchedRight {
+		for i, r := range right.Rows {
+			seen := false
+			for _, wm := range workerMatched {
+				if wm != nil && wm[i] {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				res.Rows = append(res.Rows, nullExtendLeft(r, len(left.Schema)))
+			}
+		}
+	}
+	return res, nil
+}

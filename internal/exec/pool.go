@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves the context's parallelism setting: non-positive defaults
+// to runtime.GOMAXPROCS(0); 1 forces the exact serial behavior.
+func (c *Context) workers() int {
+	if c == nil || c.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallelism
+}
+
+// runTasks runs the tasks on the calling goroutine when workers <= 1 or
+// there is a single task, and concurrently otherwise (the first task runs
+// on the caller). The first error in task order wins.
+func runTasks(workers int, tasks ...func() error) error {
+	if workers <= 1 || len(tasks) <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i := 1; i < len(tasks); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = tasks[i]()
+		}(i)
+	}
+	errs[0] = tasks[0]()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forChunks splits [0,n) into contiguous chunks of at most chunk elements
+// and calls fn(w, ci, lo, hi) for each, spreading chunks over up to workers
+// goroutines. Chunk indices ci are dense and ordered by position, so
+// callers can collect per-chunk results into a slice and concatenate them
+// in input order; w identifies the worker (0 <= w < workers) for
+// per-worker scratch state. fn must be safe for concurrent invocation.
+func forChunks(workers, n, chunk int, fn func(w, ci, lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		for ci := 0; ci < nchunks; ci++ {
+			hi := (ci + 1) * chunk
+			if hi > n {
+				hi = n
+			}
+			fn(0, ci, ci*chunk, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				hi := (ci + 1) * chunk
+				if hi > n {
+					hi = n
+				}
+				fn(w, ci, ci*chunk, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

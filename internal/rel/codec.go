@@ -24,6 +24,44 @@ func EncodeRowCols(row Row, cols []int) string {
 	return string(buf)
 }
 
+// AppendRowCols appends the encoding of row's values at the given column
+// positions to buf and returns the extended buffer. It is the
+// allocation-free form of EncodeRowCols for callers that reuse a scratch
+// buffer across rows (hash-join probes, hashing).
+func AppendRowCols(buf []byte, row Row, cols []int) []byte {
+	for _, c := range cols {
+		buf = appendValue(buf, row[c])
+	}
+	return buf
+}
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// Hash64 returns the 64-bit FNV-1a hash of b.
+func Hash64(b []byte) uint64 {
+	h := fnv64Offset
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnv64Prime
+	}
+	return h
+}
+
+// HashRowCols hashes the injective encoding of row's values at the given
+// column positions into a uint64, using (and returning) buf as scratch so
+// repeated calls allocate nothing once the buffer has grown. Two rows hash
+// equal whenever EncodeRowCols would return equal strings, so the hash is a
+// sound prehash for equijoin keys; collisions must be resolved by the
+// caller (hash joins re-verify candidates through the join predicate).
+func HashRowCols(row Row, cols []int, buf []byte) (uint64, []byte) {
+	buf = AppendRowCols(buf[:0], row, cols)
+	return Hash64(buf), buf
+}
+
 // AppendEncoded appends the encoding of vals to buf and returns it.
 func AppendEncoded(buf []byte, vals ...Value) []byte {
 	for _, v := range vals {

@@ -1,0 +1,86 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return Int(int64(rng.Intn(7) - 3))
+	case 2:
+		return Float(float64(rng.Intn(7)-3) / 2)
+	case 3:
+		return Str(string(rune('a' + rng.Intn(4))))
+	case 4:
+		return Bool(rng.Intn(2) == 0)
+	default:
+		return Date(int64(rng.Intn(100)))
+	}
+}
+
+// TestAppendRowColsMatchesEncode checks the buffer-reusing encoder produces
+// exactly the bytes of EncodeRowCols, including across reuse.
+func TestAppendRowColsMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var buf []byte
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(5)
+		row := make(Row, n)
+		cols := make([]int, 0, n)
+		for i := range row {
+			row[i] = randValue(rng)
+			if rng.Intn(2) == 0 {
+				cols = append(cols, i)
+			}
+		}
+		want := EncodeRowCols(row, cols)
+		buf = AppendRowCols(buf[:0], row, cols)
+		if string(buf) != want {
+			t.Fatalf("trial %d: AppendRowCols=%q EncodeRowCols=%q", trial, buf, want)
+		}
+	}
+}
+
+// TestHashRowColsConsistent checks the prehash agrees with encoding
+// equality: rows with equal encodings hash equal (including the
+// integral-float coercion), and the scratch buffer is reused.
+func TestHashRowColsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var bufA, bufB []byte
+	cols2 := []int{0, 1}
+	for trial := 0; trial < 500; trial++ {
+		a := Row{randValue(rng), randValue(rng)}
+		b := Row{randValue(rng), randValue(rng)}
+		var ha, hb uint64
+		ha, bufA = HashRowCols(a, cols2, bufA)
+		hb, bufB = HashRowCols(b, cols2, bufB)
+		ea, eb := EncodeRowCols(a, cols2), EncodeRowCols(b, cols2)
+		if ea == eb && ha != hb {
+			t.Fatalf("trial %d: equal encodings, unequal hashes: %v vs %v", trial, a, b)
+		}
+	}
+	// Int/float coercion: Int(2) and Float(2) must collide by design.
+	h1, _ := HashRowCols(Row{Int(2)}, []int{0}, nil)
+	h2, _ := HashRowCols(Row{Float(2)}, []int{0}, nil)
+	if h1 != h2 {
+		t.Fatal("Int(2) and Float(2) must hash equal")
+	}
+}
+
+// TestHashRowColsNoAlloc verifies the prehash allocates nothing once the
+// scratch buffer has grown.
+func TestHashRowColsNoAlloc(t *testing.T) {
+	row := Row{Int(7), Str("abcdef"), Date(100)}
+	cols := []int{0, 1, 2}
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		_, buf = HashRowCols(row, cols, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("HashRowCols allocates %.1f per run, want 0", allocs)
+	}
+}

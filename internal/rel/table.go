@@ -28,6 +28,11 @@ func (ix *Index) Name() string { return ix.name }
 // The returned slice must not be modified.
 func (ix *Index) Lookup(key string) []Row { return ix.m[key] }
 
+// LookupBytes is Lookup for a key held in a reusable byte buffer; the
+// string conversion happens inside the map index expression, which the
+// compiler performs without allocating.
+func (ix *Index) LookupBytes(key []byte) []Row { return ix.m[string(key)] }
+
 // Cols returns the indexed column offsets.
 func (ix *Index) Cols() []int { return ix.cols }
 
@@ -99,6 +104,13 @@ func (t *Table) Get(keyVals ...Value) (Row, bool) {
 // GetEncoded returns the row with the given pre-encoded key, if present.
 func (t *Table) GetEncoded(encodedKey string) (Row, bool) {
 	r, ok := t.rows[encodedKey]
+	return r, ok
+}
+
+// GetEncodedBytes is GetEncoded for a key held in a reusable byte buffer;
+// the in-place string conversion avoids allocating a key per probe.
+func (t *Table) GetEncodedBytes(encodedKey []byte) (Row, bool) {
+	r, ok := t.rows[string(encodedKey)]
 	return r, ok
 }
 

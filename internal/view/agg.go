@@ -231,11 +231,12 @@ func (m *Maintainer) applyAgg(ctx *exec.Context, plan *tablePlan, primary exec.R
 			return err
 		}
 	}
-	for _, ip := range plan.indirect {
-		cand, err := m.secondaryCandidatesFromBase(ctx, ip, primary, isInsert)
-		if err != nil {
-			return err
-		}
+	cands, err := m.secondaryCandidatesAll(ctx, plan.indirect, primary, isInsert)
+	if err != nil {
+		return err
+	}
+	for i, ip := range plan.indirect {
+		cand := cands[i]
 		if len(cand.Rows) == 0 {
 			continue
 		}

@@ -55,6 +55,12 @@ type Options struct {
 	DisableOrphanIndex bool
 	// Strategy selects the secondary-delta source.
 	Strategy Strategy
+	// Parallelism caps the worker goroutines used for delta evaluation and
+	// for computing per-term secondary-delta cleanups. 0 (the zero value)
+	// means runtime.GOMAXPROCS(0); 1 forces serial maintenance. View
+	// mutations are always applied serially, so results are identical —
+	// including row iteration structure and MaintStats — at every setting.
+	Parallelism int
 }
 
 // AggSpec is the optional group-by on top of an SPOJ view (Section 3.3).

@@ -2,7 +2,10 @@ package view
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ojv/internal/algebra"
 	"ojv/internal/exec"
@@ -421,6 +424,7 @@ func (m *Maintainer) apply(table string, delta []rel.Row, isInsert, fkOK bool) (
 		Catalog:       m.def.cat,
 		Deltas:        map[string][]rel.Row{table: delta},
 		DeltaIsInsert: isInsert,
+		Parallelism:   m.opts.Parallelism,
 	}
 	var primary exec.Relation
 	if plan.primary != nil {
@@ -475,13 +479,30 @@ func (m *Maintainer) apply(table string, delta []rel.Row, isInsert, fkOK bool) (
 		}
 		return stats, nil
 	}
-	for _, ip := range plan.indirect {
-		var n int
-		if useView {
-			n, err = m.secondaryFromView(ip, primary, projected, isInsert)
-		} else {
-			n, err = m.secondaryFromBase(ctx, ip, primary, isInsert)
+	if useView {
+		// Deletion case via the view: terms are processed strictly in plan
+		// order (larger terms first) because one term's new orphan changes a
+		// later term's containment check — see buildPlan.
+		for _, ip := range plan.indirect {
+			n, err := m.secondaryFromView(ip, primary, projected, isInsert)
+			if err != nil {
+				return nil, err
+			}
+			stats.SecondaryByTerm[ip.term.SourceKey()] = n
+			stats.SecondaryRows += n
 		}
+		return stats, nil
+	}
+	// From-base cleanup: each term's candidate computation reads only the
+	// catalog and the primary delta — by Theorem 1 the net contributions of
+	// different terms are independent — so the computations run in parallel.
+	// View mutations stay serial, in plan order.
+	cands, err := m.secondaryCandidatesAll(ctx, plan.indirect, primary, isInsert)
+	if err != nil {
+		return nil, err
+	}
+	for i, ip := range plan.indirect {
+		n, err := m.applySecondaryFromBase(ip, cands[i], isInsert)
 		if err != nil {
 			return nil, err
 		}
@@ -489,4 +510,60 @@ func (m *Maintainer) apply(table string, delta []rel.Row, isInsert, fkOK bool) (
 		stats.SecondaryRows += n
 	}
 	return stats, nil
+}
+
+// workers resolves Options.Parallelism the same way exec.Context does:
+// non-positive means runtime.GOMAXPROCS(0), 1 forces serial maintenance.
+func (m *Maintainer) workers() int {
+	if m.opts.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return m.opts.Parallelism
+}
+
+// secondaryCandidatesAll computes every indirect term's surviving ΔDi
+// candidates, in parallel across terms when parallelism allows. The result
+// is indexed like plans; the first error in term order wins.
+func (m *Maintainer) secondaryCandidatesAll(ctx *exec.Context, plans []*indirectPlan, primary exec.Relation, isInsert bool) ([]exec.Relation, error) {
+	cands := make([]exec.Relation, len(plans))
+	errs := make([]error, len(plans))
+	parallelEach(m.workers(), len(plans), func(i int) {
+		cands[i], errs[i] = m.secondaryCandidatesFromBase(ctx, plans[i], primary, isInsert)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cands, nil
+}
+
+// parallelEach runs fn(i) for every i in [0,n) on up to workers goroutines.
+// fn must be safe for concurrent invocation at distinct indexes.
+func parallelEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

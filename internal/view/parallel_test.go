@@ -1,0 +1,123 @@
+package view
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ojv/internal/rel"
+)
+
+// TestParallelMaintenanceEquivalence drives two maintainers over the same
+// catalog and view definition — one at Parallelism 1 (the exact serial seed
+// behavior) and one at Parallelism 8 — through identical random workloads,
+// and requires identical view contents and identical MaintStats after every
+// batch. Odd seeds use StrategyFromBase, which exercises the parallel
+// per-term cleanup computation (anti-joins against base tables); even seeds
+// use the view strategy, whose cleanup stays serial but whose delta
+// evaluation still goes through the parallel executor.
+func TestParallelMaintenanceEquivalence(t *testing.T) {
+	for seed := 0; seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(3000 + seed)))
+			cat := rtCatalog(t, rng, 25)
+			expr := rtExpr(rng)
+			def, err := Define(cat, "pv", expr, rtOutput(cat, expr))
+			if err != nil {
+				t.Fatalf("define %s: %v", expr, err)
+			}
+			opts := Options{}
+			if seed%2 == 1 {
+				opts.Strategy = StrategyFromBase
+			}
+			serialOpts, parallelOpts := opts, opts
+			serialOpts.Parallelism = 1
+			parallelOpts.Parallelism = 8
+			ms, err := NewMaintainer(def, serialOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := NewMaintainer(def, parallelOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ms.Materialize(); err != nil {
+				t.Fatal(err)
+			}
+			if err := mp.Materialize(); err != nil {
+				t.Fatal(err)
+			}
+
+			compare := func(step int, ss, sp *MaintStats) {
+				t.Helper()
+				if !reflect.DeepEqual(ss, sp) {
+					t.Fatalf("step %d view %s: stats diverge: serial %+v vs parallel %+v", step, expr, ss, sp)
+				}
+				rs, rp := ms.Materialized().SortedRows(), mp.Materialized().SortedRows()
+				if len(rs) != len(rp) {
+					t.Fatalf("step %d view %s: view sizes diverge: %d vs %d", step, expr, len(rs), len(rp))
+				}
+				for i := range rs {
+					if rel.EncodeValues(rs[i]...) != rel.EncodeValues(rp[i]...) {
+						t.Fatalf("step %d view %s: row %d diverges: %v vs %v", step, expr, i, rs[i], rp[i])
+					}
+				}
+			}
+			compare(-1, nil, nil)
+
+			tables := def.Tables()
+			nextKey := int64(5000)
+			for step := 0; step < 20; step++ {
+				table := tables[rng.Intn(len(tables))]
+				var ss, sp *MaintStats
+				if rng.Intn(2) == 0 {
+					var rows []rel.Row
+					for i := 0; i < 1+rng.Intn(4); i++ {
+						rows = append(rows, rtRow(rng, nextKey))
+						nextKey++
+					}
+					if err := cat.Insert(table, rows); err != nil {
+						t.Fatal(err)
+					}
+					if ss, err = ms.OnInsert(table, rows); err != nil {
+						t.Fatalf("step %d serial insert: %v", step, err)
+					}
+					if sp, err = mp.OnInsert(table, rows); err != nil {
+						t.Fatalf("step %d parallel insert: %v", step, err)
+					}
+				} else {
+					tab := cat.Table(table)
+					if tab.Len() == 0 {
+						continue
+					}
+					all := tab.Rows()
+					rel.SortRows(all)
+					var keys [][]rel.Value
+					for i := 0; i < 1+rng.Intn(3) && i < len(all); i++ {
+						keys = append(keys, all[rng.Intn(len(all))].Project(tab.KeyCols()))
+					}
+					keys = dedupKeys(keys)
+					deleted, err := cat.Delete(table, keys)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ss, err = ms.OnDelete(table, deleted); err != nil {
+						t.Fatalf("step %d serial delete: %v", step, err)
+					}
+					if sp, err = mp.OnDelete(table, deleted); err != nil {
+						t.Fatalf("step %d parallel delete: %v", step, err)
+					}
+				}
+				compare(step, ss, sp)
+			}
+			if err := Check(ms); err != nil {
+				t.Fatalf("serial maintainer diverged from oracle: %v", err)
+			}
+			if err := Check(mp); err != nil {
+				t.Fatalf("parallel maintainer diverged from oracle: %v", err)
+			}
+		})
+	}
+}

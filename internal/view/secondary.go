@@ -195,6 +195,7 @@ func (m *Maintainer) secondaryCandidatesFromBase(ctx *exec.Context, ip *indirect
 			Deltas:        ctx.Deltas,
 			DeltaIsInsert: ctx.DeltaIsInsert,
 			Rels:          map[string]exec.Relation{"__cand": cand},
+			Parallelism:   ctx.Parallelism,
 		}
 		out, err := exec.Eval(sub, anti)
 		if err != nil {
@@ -208,14 +209,11 @@ func (m *Maintainer) secondaryCandidatesFromBase(ctx *exec.Context, ip *indirect
 	return cand, nil
 }
 
-// secondaryFromBase computes ΔDi from base tables and applies it to the
-// stored view: prior orphans are deleted after an insertion, new orphans
-// are inserted after a deletion.
-func (m *Maintainer) secondaryFromBase(ctx *exec.Context, ip *indirectPlan, primary exec.Relation, isInsert bool) (int, error) {
-	cand, err := m.secondaryCandidatesFromBase(ctx, ip, primary, isInsert)
-	if err != nil {
-		return 0, err
-	}
+// applySecondaryFromBase applies one term's precomputed ΔDi candidates to
+// the stored view: prior orphans are deleted after an insertion, new orphans
+// are inserted after a deletion. Unlike candidate computation, application
+// mutates the view and must run serially, in plan order.
+func (m *Maintainer) applySecondaryFromBase(ip *indirectPlan, cand exec.Relation, isInsert bool) (int, error) {
 	if len(cand.Rows) == 0 {
 		return 0, nil
 	}

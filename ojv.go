@@ -52,7 +52,9 @@ type (
 	Pred = algebra.Pred
 	// ColRef names a column as (table, column).
 	ColRef = algebra.ColRef
-	// Options tunes the maintenance planner (ablation switches).
+	// Options tunes the maintenance planner: ablation switches plus the
+	// Parallelism worker cap for delta evaluation (0 = GOMAXPROCS, 1 =
+	// serial; results are identical at every setting).
 	Options = view.Options
 	// MaintStats reports what one maintenance run did.
 	MaintStats = view.MaintStats
