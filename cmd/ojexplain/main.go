@@ -5,6 +5,10 @@
 // primary-delta expression in its bushy, left-deep and FK-simplified forms
 // (Sections 4, 4.1, 6.1).
 //
+// With -check it instead runs the plan-invariant verifier over every
+// compiled maintenance plan of the view and exits non-zero on the first
+// violation, printing the section-numbered diagnostic.
+//
 // Usage:
 //
 //	ojexplain -view v1 -update T
@@ -12,11 +16,13 @@
 //	ojexplain -view v2fk -update O      # Figure 4 setting
 //	ojexplain -view v3 -update lineitem # the experimental view
 //	ojexplain -view ojview -update lineitem
+//	ojexplain -view v1fk -check         # verify all plans, exit 1 on violation
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,23 +34,40 @@ import (
 )
 
 func main() {
-	viewName := flag.String("view", "v1", "v1 | v1fk | v2 | v2fk | v3 | core | ojview")
-	update := flag.String("update", "", "updated base table (defaults to a sensible table per view)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ojexplain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	viewName := fs.String("view", "v1", "v1 | v1fk | v2 | v2fk | v3 | core | ojview")
+	update := fs.String("update", "", "updated base table (defaults to a sensible table per view)")
+	check := fs.Bool("check", false, "verify every compiled maintenance plan against the paper's invariants and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cat, expr, defaultTable, err := resolveView(*viewName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ojexplain: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ojexplain: %v\n", err)
+		return 1
 	}
 	table := *update
 	if table == "" {
 		table = defaultTable
 	}
-	if err := explain(cat, expr, *viewName, table); err != nil {
-		fmt.Fprintf(os.Stderr, "ojexplain: %v\n", err)
-		os.Exit(1)
+	if *check {
+		if err := checkPlans(stdout, cat, expr, *viewName, *update); err != nil {
+			fmt.Fprintf(stderr, "ojexplain: %v\n", err)
+			return 1
+		}
+		return 0
 	}
+	if err := explain(stdout, cat, expr, *viewName, table); err != nil {
+		fmt.Fprintf(stderr, "ojexplain: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 func resolveView(name string) (*rel.Catalog, algebra.Expr, string, error) {
@@ -81,8 +104,37 @@ func resolveView(name string) (*rel.Catalog, algebra.Expr, string, error) {
 	}
 }
 
-func explain(cat *rel.Catalog, expr algebra.Expr, name, table string) error {
-	fmt.Printf("view %s =\n%s\n", name, indent(algebra.FormatTree(expr)))
+// checkPlans compiles the view's maintenance plans with the invariant
+// verifier enabled and reports the result. When table is non-empty, only
+// that table's plans are verified.
+func checkPlans(w io.Writer, cat *rel.Catalog, expr algebra.Expr, name, table string) error {
+	def, err := view.Define(cat, name, expr, allOutput(cat, expr))
+	if err != nil {
+		return err
+	}
+	m, err := view.NewMaintainer(def, view.Options{VerifyPlans: true})
+	if err != nil {
+		return err
+	}
+	if table != "" {
+		for _, fkOK := range []bool{true, false} {
+			if _, err := m.Plan(table, fkOK); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "ojexplain: view %s: maintenance plans for updates to %s satisfy the paper's invariants\n", name, table)
+		return nil
+	}
+	if err := m.VerifyAllPlans(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ojexplain: view %s: all maintenance plans (%d tables, fk and no-fk contracts) satisfy the paper's invariants\n",
+		name, len(def.Tables()))
+	return nil
+}
+
+func explain(w io.Writer, cat *rel.Catalog, expr algebra.Expr, name, table string) error {
+	fmt.Fprintf(w, "view %s =\n%s\n", name, indent(algebra.FormatTree(expr)))
 
 	nfNoFK, err := algebra.Normalize(expr, nil)
 	if err != nil {
@@ -92,16 +144,16 @@ func explain(cat *rel.Catalog, expr algebra.Expr, name, table string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("join-disjunctive normal form (%d terms):\n", len(nf.Terms))
+	fmt.Fprintf(w, "join-disjunctive normal form (%d terms):\n", len(nf.Terms))
 	for i, t := range nf.Terms {
-		fmt.Printf("  E%d = σ[%s](%s)\n", i+1, t.Pred, strings.Join(t.Tables, " × "))
+		fmt.Fprintf(w, "  E%d = σ[%s](%s)\n", i+1, t.Pred, strings.Join(t.Tables, " × "))
 	}
 	if len(nf.Eliminated) > 0 {
 		for _, t := range nf.Eliminated {
-			fmt.Printf("  (term {%s} eliminated: its net contribution is empty by a foreign key)\n", t.SourceKey())
+			fmt.Fprintf(w, "  (term {%s} eliminated: its net contribution is empty by a foreign key)\n", t.SourceKey())
 		}
 	}
-	fmt.Println("subsumption graph (term -> parents):")
+	fmt.Fprintln(w, "subsumption graph (term -> parents):")
 	for i, t := range nf.Terms {
 		var parents []string
 		for _, p := range nf.Parents[i] {
@@ -110,38 +162,38 @@ func explain(cat *rel.Catalog, expr algebra.Expr, name, table string) error {
 		if len(parents) == 0 {
 			parents = []string{"(root)"}
 		}
-		fmt.Printf("  {%s} -> %s\n", t.SourceKey(), strings.Join(parents, " "))
+		fmt.Fprintf(w, "  {%s} -> %s\n", t.SourceKey(), strings.Join(parents, " "))
 	}
 
 	gPlain, err := nfNoFK.MaintenanceGraph(table, algebra.MaintOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("maintenance graph for updates to %s:          %s\n", table, gPlain)
+	fmt.Fprintf(w, "maintenance graph for updates to %s:          %s\n", table, gPlain)
 	gFK, err := nf.MaintenanceGraph(table, algebra.MaintOptions{ExploitFKs: true, FKs: cat})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("reduced maintenance graph (Theorem 3):        %s\n", orNone(gFK.String()))
+	fmt.Fprintf(w, "reduced maintenance graph (Theorem 3):        %s\n", orNone(gFK.String()))
 
 	bushy, err := view.BuildPrimaryDelta(cat, expr, table, false, false)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ΔV^D (Section 4 transform, bushy):\n%s", indent(algebra.FormatTree(bushy)))
+	fmt.Fprintf(w, "ΔV^D (Section 4 transform, bushy):\n%s", indent(algebra.FormatTree(bushy)))
 	leftDeep, err := view.BuildPrimaryDelta(cat, expr, table, true, false)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ΔV^D (left-deep, Section 4.1):\n%s", indent(algebra.FormatTree(leftDeep)))
+	fmt.Fprintf(w, "ΔV^D (left-deep, Section 4.1):\n%s", indent(algebra.FormatTree(leftDeep)))
 	simplified, err := view.BuildPrimaryDelta(cat, expr, table, true, true)
 	if err != nil {
 		return err
 	}
 	if simplified == nil {
-		fmt.Println("ΔV^D (FK-simplified, Section 6.1): provably empty")
+		fmt.Fprintln(w, "ΔV^D (FK-simplified, Section 6.1): provably empty")
 	} else {
-		fmt.Printf("ΔV^D (FK-simplified, Section 6.1):\n%s", indent(algebra.FormatTree(simplified)))
+		fmt.Fprintf(w, "ΔV^D (FK-simplified, Section 6.1):\n%s", indent(algebra.FormatTree(simplified)))
 	}
 
 	// The maintenance plan as the paper's Q1..Qn statements.
@@ -159,7 +211,7 @@ func explain(cat *rel.Catalog, expr algebra.Expr, name, table string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n%s", script)
+		fmt.Fprintf(w, "\n%s", script)
 	}
 	return nil
 }

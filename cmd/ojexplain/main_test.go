@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExplain(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-view", "v1fk", "-update", "T"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"join-disjunctive normal form", "subsumption graph", "ΔV^D"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-view", "v1", "-check"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "satisfy the paper's invariants") {
+		t.Errorf("check output lacks verdict: %s", out.String())
+	}
+}
+
+func TestRunCheckSingleTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-view", "v2fk", "-update", "O", "-check"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "updates to O") {
+		t.Errorf("check output lacks per-table verdict: %s", out.String())
+	}
+}
+
+func TestRunUnknownView(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-view", "nope"}, &out, &errb); code == 0 {
+		t.Fatal("unknown view must exit non-zero")
+	}
+	if !strings.Contains(errb.String(), "unknown view") {
+		t.Errorf("stderr lacks diagnostic: %s", errb.String())
+	}
+}
+
+// TestRunCheckInvalidPair: a table the view does not reference must make
+// -check exit non-zero with a diagnostic rather than report success.
+func TestRunCheckInvalidPair(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-view", "v1", "-update", "Z", "-check"}, &out, &errb); code == 0 {
+		t.Fatal("invalid view/update pair must exit non-zero")
+	}
+	if !strings.Contains(errb.String(), "Z") {
+		t.Errorf("stderr does not name the bad table: %s", errb.String())
+	}
+}

@@ -1,0 +1,84 @@
+// Command ojvlint is the multichecker for this module's custom static
+// analyses (rowalias, locksafe, errfmt — see internal/analyzers). It loads
+// and type-checks packages without the go tool, so it runs offline:
+//
+//	go run ./cmd/ojvlint ./...          # whole module (from anywhere inside it)
+//	go run ./cmd/ojvlint ./internal/exec
+//
+// Each argument is either ./... (the whole module) or a directory. With no
+// arguments, ./... is assumed. Diagnostics print one per line in
+// file:line:col: analyzer: message form; the exit status is non-zero when
+// any diagnostic is reported.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ojv/internal/analyzers"
+)
+
+func main() {
+	diags, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ojvlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ojvlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(args []string) ([]analyzers.Diagnostic, error) {
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*analyzers.Package
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			dir, err := filepath.Abs(strings.TrimSuffix(arg, "/"))
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(loader.Root(), dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("%s is outside the module", arg)
+			}
+			path := loader.ModulePath()
+			if rel != "." {
+				path = loader.ModulePath() + "/" + filepath.ToSlash(rel)
+			}
+			pkg, err := loader.LoadDir(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	var diags []analyzers.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analyzers.RunAnalyzers(pkg, analyzers.All())
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}

@@ -1,0 +1,207 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the algebraic half of the plan-invariant verifier: structural
+// checks over NormalForm and MaintGraph values that re-derive, with
+// independent (and deliberately naive) algorithms, the properties the
+// paper's correctness argument rests on — unique source sets (§2.2), the
+// subsumption ordering and minimal-superset parent edges (§2.3), the
+// Direct/Indirect classification with Direct-parent coverage (§3.1), and
+// the Theorem 3 preconditions behind any foreign-key pruning (§6.2).
+// internal/view's plan checker builds on these for compiled plans.
+
+// VerifyNormalForm checks the structural invariants of a normal form and
+// returns a section-numbered error for the first violation found.
+func VerifyNormalForm(nf *NormalForm) error {
+	if nf == nil {
+		return fmt.Errorf("algebra: invariant violation (§2.2): normal form is nil")
+	}
+	for i := 1; i < len(nf.AllTables); i++ {
+		if nf.AllTables[i-1] >= nf.AllTables[i] {
+			return fmt.Errorf("algebra: invariant violation (§2.2): table set %v is not sorted and duplicate-free", nf.AllTables)
+		}
+	}
+	if len(nf.Terms) == 0 {
+		return fmt.Errorf("algebra: invariant violation (§2.2): normal form has no terms")
+	}
+	if len(nf.Parents) != len(nf.Terms) || len(nf.Children) != len(nf.Terms) {
+		return fmt.Errorf("algebra: invariant violation (§2.3): subsumption graph covers %d/%d terms", len(nf.Parents), len(nf.Terms))
+	}
+	seen := make(map[string]bool, len(nf.Terms))
+	for _, t := range nf.Terms {
+		if len(t.Tables) == 0 {
+			return fmt.Errorf("algebra: invariant violation (§2.2): term with empty source set")
+		}
+		for i := 1; i < len(t.Tables); i++ {
+			if t.Tables[i-1] >= t.Tables[i] {
+				return fmt.Errorf("algebra: invariant violation (§2.2): source set {%s} is not sorted and duplicate-free", t.SourceKey())
+			}
+		}
+		if !containsAll(nf.AllTables, t.Tables) {
+			return fmt.Errorf("algebra: invariant violation (§2.2): source set {%s} references tables outside %v", t.SourceKey(), nf.AllTables)
+		}
+		if seen[t.SourceKey()] {
+			return fmt.Errorf("algebra: invariant violation (§2.2): duplicate source set {%s}; normal-form terms must have unique source sets", t.SourceKey())
+		}
+		seen[t.SourceKey()] = true
+	}
+	for i := 1; i < len(nf.Terms); i++ {
+		a, b := nf.Terms[i-1], nf.Terms[i]
+		if len(a.Tables) < len(b.Tables) ||
+			(len(a.Tables) == len(b.Tables) && a.SourceKey() > b.SourceKey()) {
+			return fmt.Errorf("algebra: invariant violation (§2.3): terms out of subsumption order (descending size, then lexical): {%s} precedes {%s}", a.SourceKey(), b.SourceKey())
+		}
+	}
+	for i := range nf.Terms {
+		want := minimalSupersets(nf, i)
+		if !equalIntSets(nf.Parents[i], want) {
+			return fmt.Errorf("algebra: invariant violation (§2.3): parents of {%s} are %v, want the minimal strict supersets %v", nf.Terms[i].SourceKey(), nf.Parents[i], want)
+		}
+	}
+	inverse := make([][]int, len(nf.Terms))
+	for i, ps := range nf.Parents {
+		for _, p := range ps {
+			inverse[p] = append(inverse[p], i)
+		}
+	}
+	for i := range nf.Terms {
+		if !equalIntSets(nf.Children[i], inverse[i]) {
+			return fmt.Errorf("algebra: invariant violation (§2.3): children of {%s} are %v, want the inverse parent edges %v", nf.Terms[i].SourceKey(), nf.Children[i], inverse[i])
+		}
+	}
+	return nil
+}
+
+// strictSubset reports a ⊂ b (proper).
+func strictSubset(a, b Term) bool {
+	return len(a.Tables) < len(b.Tables) && a.SubsetOf(b)
+}
+
+// minimalSupersets recomputes term i's parent set the slow way: all strict
+// supersets, minus any with a smaller strict superset in between.
+func minimalSupersets(nf *NormalForm, i int) []int {
+	var sup []int
+	for j := range nf.Terms {
+		if j != i && strictSubset(nf.Terms[i], nf.Terms[j]) {
+			sup = append(sup, j)
+		}
+	}
+	var out []int
+	for _, j := range sup {
+		minimal := true
+		for _, k := range sup {
+			if k != j && strictSubset(nf.Terms[k], nf.Terms[j]) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func equalIntSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyMaintGraph checks a maintenance graph against an independent
+// reclassification of its normal form's terms. fks must be the foreign-key
+// provider the graph was built with (nil when the Section 6 optimizations
+// were off), so any Theorem 3 pruning can be re-justified.
+func VerifyMaintGraph(g *MaintGraph, fks FKProvider) error {
+	if g == nil {
+		return fmt.Errorf("algebra: invariant violation (§3.1): maintenance graph is nil")
+	}
+	if err := VerifyNormalForm(g.NF); err != nil {
+		return err
+	}
+	nf := g.NF
+	if !containsAll(nf.AllTables, []string{g.Updated}) {
+		return fmt.Errorf("algebra: invariant violation (§3.1): updated table %s is not referenced by the view", g.Updated)
+	}
+	if len(g.Class) != len(nf.Terms) || len(g.DirectParents) != len(nf.Terms) || len(g.IndirectParents) != len(nf.Terms) {
+		return fmt.Errorf("algebra: invariant violation (§3.1): classification covers %d/%d terms", len(g.Class), len(nf.Terms))
+	}
+	pruned := make(map[int]bool, len(g.FKPruned))
+	for _, i := range g.FKPruned {
+		if i < 0 || i >= len(nf.Terms) || pruned[i] {
+			return fmt.Errorf("algebra: invariant violation (§6.2): FK-pruned term index %d is out of range or duplicated", i)
+		}
+		t := nf.Terms[i]
+		if !t.Has(g.Updated) {
+			return fmt.Errorf("algebra: invariant violation (§6.2): FK-pruned term {%s} does not reference the updated table %s", t.SourceKey(), g.Updated)
+		}
+		if fks == nil {
+			return fmt.Errorf("algebra: invariant violation (§6.2): term {%s} pruned by Theorem 3 but no foreign keys were available", t.SourceKey())
+		}
+		if !termUnaffectedByFK(t, g.Updated, fks) {
+			return fmt.Errorf("algebra: invariant violation (§6.2): Theorem 3 preconditions fail for term {%s}: no table of the term joins %s on a contained foreign-key equijoin", t.SourceKey(), g.Updated)
+		}
+		pruned[i] = true
+	}
+	// Independent reclassification: Direct from term membership minus
+	// pruning, Indirect from Direct-parent coverage (§3.1).
+	expect := make([]Affect, len(nf.Terms))
+	for i, t := range nf.Terms {
+		if t.Has(g.Updated) && !pruned[i] {
+			expect[i] = Direct
+		}
+	}
+	for i, t := range nf.Terms {
+		if t.Has(g.Updated) {
+			continue
+		}
+		for _, p := range nf.Parents[i] {
+			if expect[p] == Direct {
+				expect[i] = Indirect
+				break
+			}
+		}
+	}
+	for i := range nf.Terms {
+		if g.Class[i] != expect[i] {
+			return fmt.Errorf("algebra: invariant violation (§3.1): term {%s} classified %s, want %s", nf.Terms[i].SourceKey(), g.Class[i], expect[i])
+		}
+	}
+	for i := range nf.Terms {
+		var wantDirect, wantIndirect []int
+		if g.Class[i] == Indirect {
+			for _, p := range nf.Parents[i] {
+				switch expect[p] {
+				case Direct:
+					wantDirect = append(wantDirect, p)
+				case Indirect:
+					wantIndirect = append(wantIndirect, p)
+				}
+			}
+			if len(wantDirect) == 0 {
+				return fmt.Errorf("algebra: invariant violation (§3.1): indirectly affected term {%s} has no directly affected parent", nf.Terms[i].SourceKey())
+			}
+		}
+		if !equalIntSets(g.DirectParents[i], wantDirect) {
+			return fmt.Errorf("algebra: invariant violation (§3.1): direct parents of {%s} are %v, want %v", nf.Terms[i].SourceKey(), g.DirectParents[i], wantDirect)
+		}
+		if !equalIntSets(g.IndirectParents[i], wantIndirect) {
+			return fmt.Errorf("algebra: invariant violation (§5.3): indirect parents of {%s} are %v, want %v", nf.Terms[i].SourceKey(), g.IndirectParents[i], wantIndirect)
+		}
+	}
+	return nil
+}

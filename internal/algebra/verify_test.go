@@ -1,0 +1,245 @@
+package algebra_test
+
+import (
+	"strings"
+	"testing"
+
+	"ojv/internal/algebra"
+	"ojv/internal/fixture"
+	"ojv/internal/rel"
+)
+
+// v1Setup normalizes the running example V1, optionally with the Example 10
+// foreign key U.tfk→T.tk available to the normalizer.
+func v1Setup(t *testing.T, withFK bool) (*rel.Catalog, *algebra.NormalForm) {
+	t.Helper()
+	cat, err := fixture.RSTU(fixture.RSTUOptions{Rows: 8, Seed: 1, WithFK: withFK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fks algebra.FKProvider
+	if withFK {
+		fks = cat
+	}
+	nf, err := algebra.Normalize(fixture.V1Expr(withFK), fks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, nf
+}
+
+func TestVerifyNormalFormAcceptsExamples(t *testing.T) {
+	for _, withFK := range []bool{false, true} {
+		_, nf := v1Setup(t, withFK)
+		if err := algebra.VerifyNormalForm(nf); err != nil {
+			t.Errorf("V1 (fk=%v): %v", withFK, err)
+		}
+	}
+	nf, err := algebra.Normalize(fixture.V2Expr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := algebra.VerifyNormalForm(nf); err != nil {
+		t.Errorf("V2: %v", err)
+	}
+}
+
+// TestVerifyNormalFormMutations corrupts a freshly computed normal form in
+// ways the constructor can never produce and checks each corruption is
+// rejected with the paper section it violates.
+func TestVerifyNormalFormMutations(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, nf *algebra.NormalForm) *algebra.NormalForm
+		want    string
+	}{
+		{"nil normal form", func(t *testing.T, nf *algebra.NormalForm) *algebra.NormalForm {
+			return nil
+		}, "§2.2"},
+		{"unsorted table set", func(t *testing.T, nf *algebra.NormalForm) *algebra.NormalForm {
+			nf.AllTables[0], nf.AllTables[1] = nf.AllTables[1], nf.AllTables[0]
+			return nf
+		}, "§2.2"},
+		{"unsorted source set", func(t *testing.T, nf *algebra.NormalForm) *algebra.NormalForm {
+			ts := nf.Terms[0].Tables
+			ts[0], ts[len(ts)-1] = ts[len(ts)-1], ts[0]
+			return nf
+		}, "§2.2"},
+		{"duplicated source set", func(t *testing.T, nf *algebra.NormalForm) *algebra.NormalForm {
+			nf.Terms[1] = nf.Terms[0]
+			return nf
+		}, "§2.2"},
+		{"terms out of subsumption order", func(t *testing.T, nf *algebra.NormalForm) *algebra.NormalForm {
+			last := len(nf.Terms) - 1
+			if len(nf.Terms[0].Tables) == len(nf.Terms[last].Tables) {
+				t.Fatal("fixture must have terms of different sizes")
+			}
+			nf.Terms[0], nf.Terms[last] = nf.Terms[last], nf.Terms[0]
+			return nf
+		}, "§2.3"},
+		{"dropped parent edge", func(t *testing.T, nf *algebra.NormalForm) *algebra.NormalForm {
+			for i := range nf.Parents {
+				if len(nf.Parents[i]) > 0 {
+					nf.Parents[i] = nil
+					return nf
+				}
+			}
+			t.Fatal("fixture must have a term with parents")
+			return nf
+		}, "§2.3"},
+		{"dropped child edge", func(t *testing.T, nf *algebra.NormalForm) *algebra.NormalForm {
+			for i := range nf.Children {
+				if len(nf.Children[i]) > 0 {
+					nf.Children[i] = nil
+					return nf
+				}
+			}
+			t.Fatal("fixture must have a term with children")
+			return nf
+		}, "§2.3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, nf := v1Setup(t, false)
+			err := algebra.VerifyNormalForm(tc.corrupt(t, nf))
+			if err == nil {
+				t.Fatal("corruption was not rejected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("rejection %q does not cite %s", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyMaintGraphAcceptsExamples(t *testing.T) {
+	for _, withFK := range []bool{false, true} {
+		cat, nf := v1Setup(t, withFK)
+		opts := algebra.MaintOptions{}
+		var fks algebra.FKProvider
+		if withFK {
+			opts = algebra.MaintOptions{ExploitFKs: true, FKs: cat}
+			fks = cat
+		}
+		for _, table := range []string{"R", "S", "T", "U"} {
+			g, err := nf.MaintenanceGraph(table, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := algebra.VerifyMaintGraph(g, fks); err != nil {
+				t.Errorf("V1 (fk=%v) update %s: %v", withFK, table, err)
+			}
+		}
+	}
+}
+
+// plainGraphT builds the unreduced maintenance graph of V1 for updates to
+// T: it has direct terms, indirect terms with direct parents, and no FK
+// pruning — the richest setting for classification mutations.
+func plainGraphT(t *testing.T) *algebra.MaintGraph {
+	t.Helper()
+	_, nf := v1Setup(t, false)
+	g, err := nf.MaintenanceGraph("T", algebra.MaintOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// fkGraphT builds the Theorem 3-reduced graph of V1 (Example 10 foreign
+// key) for updates to T, which prunes every term joining U on the FK.
+func fkGraphT(t *testing.T) (*rel.Catalog, *algebra.MaintGraph) {
+	t.Helper()
+	cat, nf := v1Setup(t, true)
+	g, err := nf.MaintenanceGraph("T", algebra.MaintOptions{ExploitFKs: true, FKs: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.FKPruned) == 0 {
+		t.Fatal("fixture must prune at least one term for updates to T")
+	}
+	return cat, g
+}
+
+func classIndex(t *testing.T, g *algebra.MaintGraph, want algebra.Affect) int {
+	t.Helper()
+	for i, c := range g.Class {
+		if c == want {
+			return i
+		}
+	}
+	t.Fatalf("fixture has no %s term", want)
+	return -1
+}
+
+func TestVerifyMaintGraphMutations(t *testing.T) {
+	t.Run("nil graph", func(t *testing.T) {
+		wantSection(t, algebra.VerifyMaintGraph(nil, nil), "§3.1")
+	})
+	t.Run("updated table outside the view", func(t *testing.T) {
+		g := plainGraphT(t)
+		g.Updated = "Z"
+		wantSection(t, algebra.VerifyMaintGraph(g, nil), "§3.1")
+	})
+	t.Run("direct term demoted", func(t *testing.T) {
+		g := plainGraphT(t)
+		g.Class[classIndex(t, g, algebra.Direct)] = algebra.Unaffected
+		wantSection(t, algebra.VerifyMaintGraph(g, nil), "§3.1")
+	})
+	t.Run("indirect term promoted", func(t *testing.T) {
+		g := plainGraphT(t)
+		g.Class[classIndex(t, g, algebra.Indirect)] = algebra.Direct
+		wantSection(t, algebra.VerifyMaintGraph(g, nil), "§3.1")
+	})
+	t.Run("removed direct parent", func(t *testing.T) {
+		g := plainGraphT(t)
+		i := classIndex(t, g, algebra.Indirect)
+		if len(g.DirectParents[i]) == 0 {
+			t.Fatal("indirect term must have a direct parent")
+		}
+		g.DirectParents[i] = nil
+		wantSection(t, algebra.VerifyMaintGraph(g, nil), "§3.1")
+	})
+	t.Run("corrupted indirect parents", func(t *testing.T) {
+		g := plainGraphT(t)
+		i := classIndex(t, g, algebra.Indirect)
+		g.IndirectParents[i] = append([]int{0}, g.IndirectParents[i]...)
+		wantSection(t, algebra.VerifyMaintGraph(g, nil), "§5.3")
+	})
+	t.Run("pruning without foreign keys", func(t *testing.T) {
+		_, g := fkGraphT(t)
+		wantSection(t, algebra.VerifyMaintGraph(g, nil), "§6.2")
+	})
+	t.Run("pruned index out of range", func(t *testing.T) {
+		cat, g := fkGraphT(t)
+		g.FKPruned = append(g.FKPruned, len(g.NF.Terms))
+		wantSection(t, algebra.VerifyMaintGraph(g, cat), "§6.2")
+	})
+	t.Run("pruned term without the updated table", func(t *testing.T) {
+		cat, g := fkGraphT(t)
+		for i, term := range g.NF.Terms {
+			if !term.Has("T") {
+				g.FKPruned = append(g.FKPruned, i)
+				wantSection(t, algebra.VerifyMaintGraph(g, cat), "§6.2")
+				return
+			}
+		}
+		t.Fatal("fixture has no term without T")
+	})
+	t.Run("pruned term failing Theorem 3", func(t *testing.T) {
+		cat, g := fkGraphT(t)
+		i := classIndex(t, g, algebra.Direct) // survived pruning, so Theorem 3 fails for it
+		g.FKPruned = append(g.FKPruned, i)
+		wantSection(t, algebra.VerifyMaintGraph(g, cat), "§6.2")
+	})
+}
+
+func wantSection(t *testing.T, err error, section string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("corruption was not rejected")
+	}
+	if !strings.Contains(err.Error(), section) {
+		t.Fatalf("rejection %q does not cite %s", err, section)
+	}
+}

@@ -1,0 +1,110 @@
+package analyzers
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file is the corpus-test harness, the stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest: a corpus package under
+// testdata/src/<analyzer>/<pkg> annotates the lines it expects diagnostics
+// on with trailing comments of the form
+//
+//	// want "regexp"
+//
+// (several quoted patterns may follow one want). RunCorpus type-checks the
+// corpus, runs the analyzers, and fails on any unexpected or missing
+// diagnostic.
+
+// expectation is one parsed "// want" pattern.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+var (
+	corpusLoaderOnce sync.Once
+	corpusLoader     *Loader
+	corpusLoaderErr  error
+)
+
+// sharedLoader returns a process-wide loader so corpora share the
+// type-checked standard library.
+func sharedLoader() (*Loader, error) {
+	corpusLoaderOnce.Do(func() {
+		corpusLoader, corpusLoaderErr = NewLoader(".")
+	})
+	return corpusLoader, corpusLoaderErr
+}
+
+// quotedPattern matches one `...` or "..." segment after a want marker.
+var quotedPattern = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// RunCorpus loads the corpus package in dir, runs the analyzers over it and
+// checks the diagnostics against the corpus's want comments.
+func RunCorpus(t *testing.T, dir string, as ...*Analyzer) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, "corpus/"+dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				i := strings.Index(c.Text, "want ")
+				if !strings.HasPrefix(c.Text, "//") || i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedPattern.FindAllString(c.Text[i+len("want "):], -1) {
+					pat := q[1 : len(q)-1]
+					if q[0] == '"' {
+						if pat, err = strconv.Unquote(q); err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package analyzers implements ojvlint, a set of static-analysis passes
+// over this module's source, plus the loading and reporting scaffolding
+// they run on.
+//
+// The passes encode conventions the runtime cannot check:
+//
+//   - rowalias flags rel.Row values and encoded-key []byte buffers that are
+//     stored or emitted downstream and then mutated or reused — the
+//     scratch-buffer aliasing bug class the zero-alloc exec layer
+//     (rel.HashRowCols, rel.AppendRowCols, morsel outputs) makes possible.
+//     Aliasing is not a data race, so the race detector never sees it.
+//   - locksafe flags a Lock/RLock without a matching Unlock/RUnlock in the
+//     same function, and WaitGroup.Add calls placed inside the goroutine
+//     they guard — the misuse patterns that matter for the exec pool.
+//   - errfmt enforces the repo's diagnostic conventions: error messages in
+//     the algebra/rel/exec/gk domains carry their "domain: " prefix, and
+//     plan-invariant diagnostics cite the paper section (§N.N) they
+//     enforce.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Reportf, testdata corpora with "// want" expectations) but is built
+// entirely on the standard library's go/ast, go/types and go/importer, so
+// the module stays dependency-free.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String formats the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at the given position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Line returns the line number of a position, for cross-referencing sites
+// inside diagnostic messages.
+func (p *Pass) Line(pos token.Pos) int { return p.Fset.Position(pos).Line }
+
+// All returns every registered analyzer, the set cmd/ojvlint runs.
+func All() []*Analyzer {
+	return []*Analyzer{RowAlias, LockSafe, ErrFmt}
+}
+
+// RunAnalyzers applies the analyzers to one loaded package and returns the
+// diagnostics sorted by position.
+func RunAnalyzers(pkg *Package, as []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range as {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzers: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,40 @@
+package analyzers
+
+import "testing"
+
+func TestRowAliasCorpus(t *testing.T) {
+	RunCorpus(t, "testdata/src/rowalias/a", RowAlias)
+}
+
+func TestLockSafeCorpus(t *testing.T) {
+	RunCorpus(t, "testdata/src/locksafe/a", LockSafe)
+}
+
+func TestErrFmtCorpus(t *testing.T) {
+	RunCorpus(t, "testdata/src/errfmt/algebra", ErrFmt)
+}
+
+// TestRepoClean runs every analyzer over every package of the module and
+// expects zero diagnostics — the same gate cmd/ojvlint enforces in CI.
+func TestRepoClean(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

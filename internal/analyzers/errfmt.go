@@ -1,0 +1,77 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ErrFmt enforces the repo's diagnostic conventions. The domain packages
+// (algebra, rel, exec, gk) prefix every error message with "<package>: " so
+// a failure names the layer it came from; and any message describing an
+// invariant must cite the paper section (§N.N) the invariant comes from,
+// the way the plan verifier's diagnostics do.
+var ErrFmt = &Analyzer{
+	Name: "errfmt",
+	Doc:  "enforces domain-prefixed error messages and paper-section citations in invariant diagnostics",
+	Run:  runErrFmt,
+}
+
+// errfmtDomains lists the packages whose error messages must carry the
+// "<package>: " prefix.
+var errfmtDomains = map[string]bool{
+	"algebra": true,
+	"rel":     true,
+	"exec":    true,
+	"gk":      true,
+}
+
+// isErrorCtor reports whether call constructs an error from a format/message
+// string: fmt.Errorf(...) or errors.New(...).
+func isErrorCtor(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch {
+	case pkg.Name == "fmt" && sel.Sel.Name == "Errorf":
+		return true
+	case pkg.Name == "errors" && sel.Sel.Name == "New":
+		return true
+	}
+	return false
+}
+
+func runErrFmt(pass *Pass) error {
+	pkgName := pass.Pkg.Name()
+	domain := errfmtDomains[pkgName]
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isErrorCtor(call) || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			msg, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if domain && !strings.HasPrefix(msg, pkgName+": ") {
+				pass.Reportf(lit.Pos(), "error message %q lacks the %q domain prefix this package's diagnostics carry", msg, pkgName+": ")
+			}
+			if strings.Contains(msg, "invariant") && !strings.Contains(msg, "§") {
+				pass.Reportf(lit.Pos(), "invariant diagnostic %q must cite the paper section (§N.N) the invariant comes from", msg)
+			}
+			return true
+		})
+	}
+	return nil
+}

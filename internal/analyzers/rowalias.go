@@ -1,0 +1,264 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RowAlias flags the scratch-buffer aliasing bug class of the zero-alloc
+// exec layer: a rel.Row or encoded-key []byte that is stored or emitted
+// downstream (appended to another slice, stored in a map, slice element,
+// field, or sent on a channel) and afterwards mutated or reused in the same
+// function. The stored alias silently observes the mutation — a bug the
+// race detector cannot see, because aliasing is not a data race.
+//
+// A variable "escapes" when the bare variable (not a copy such as
+// string(buf), v.Clone() or an append(dst, v...) element spread) is stored
+// into a container. A "reuse" is: an element write v[i] = x, a
+// self-reassignment v = ...v... (v = v[:0], v = append(v, x),
+// v = rel.AppendRowCols(v[:0], ...)), a copy(v, ...) fill, or passing v as
+// the scratch argument of rel.HashRowCols. The pair is reported when the
+// reuse follows the escape in source order, or when both sit in one loop
+// whose iterations the variable outlives — the cross-iteration reuse
+// pattern that per-iteration fresh variables are immune to.
+var RowAlias = &Analyzer{
+	Name: "rowalias",
+	Doc:  "flags rows and encoded-key buffers mutated after being stored or emitted downstream",
+	Run:  runRowAlias,
+}
+
+// rowEvents accumulates the escape and reuse sites of one tracked variable
+// within one function body.
+type rowEvents struct {
+	obj       *types.Var
+	escapes   []token.Pos
+	mutations []token.Pos
+}
+
+func runRowAlias(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			rowAliasFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// isRowLike reports whether t is a slice of bytes or a slice of a type named
+// Value — i.e. an encoded-key buffer or a rel.Row (also matching the local
+// mirrors used in the analyzer corpora).
+func isRowLike(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := s.Elem()
+	if b, ok := elem.Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+		return true
+	}
+	if n, ok := elem.(*types.Named); ok && n.Obj().Name() == "Value" {
+		return true
+	}
+	return false
+}
+
+// trackedVar resolves e to a variable of row-like type, or nil.
+func trackedVar(pass *Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		if obj, ok = pass.Info.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	if obj == nil || !isRowLike(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// mentionsVar reports whether any identifier inside e resolves to obj.
+func mentionsVar(pass *Pass, e ast.Expr, obj *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeName returns the bare name of the called function (append, copy,
+// HashRowCols, pkg.HashRowCols, ...), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
+	// Loop extents, for the cross-iteration rule.
+	var loops []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+
+	events := make(map[*types.Var]*rowEvents)
+	var order []*rowEvents
+	record := func(obj *types.Var, pos token.Pos, escape bool) {
+		ev := events[obj]
+		if ev == nil {
+			ev = &rowEvents{obj: obj}
+			events[obj] = ev
+			order = append(order, ev)
+		}
+		if escape {
+			ev.escapes = append(ev.escapes, pos)
+		} else {
+			ev.mutations = append(ev.mutations, pos)
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// Element write through a tracked variable: v[i] = x,
+				// including m[k] = x when m is itself row-like.
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if v := trackedVar(pass, ix.X); v != nil {
+						record(v, n.Pos(), false)
+					}
+				}
+				// Bare tracked identifier stored into a map/slice element
+				// or a field escapes.
+				if len(n.Lhs) == len(n.Rhs) {
+					if v := trackedVar(pass, n.Rhs[i]); v != nil {
+						switch lhs.(type) {
+						case *ast.IndexExpr, *ast.SelectorExpr:
+							record(v, n.Pos(), true)
+						}
+					}
+				}
+			}
+			// Self-reassignment: v = <expression mentioning v>, covering
+			// v = v[:0], v = append(v, ...), h, v = HashRowCols(..., v).
+			if n.Tok != token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if v := trackedVar(pass, lhs); v != nil {
+						for _, rhs := range n.Rhs {
+							if mentionsVar(pass, rhs, v) {
+								record(v, n.Pos(), false)
+								break
+							}
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if v := trackedVar(pass, n.Value); v != nil {
+				record(v, n.Pos(), true)
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if v := trackedVar(pass, el); v != nil {
+					record(v, el.Pos(), true)
+				}
+			}
+		case *ast.CallExpr:
+			switch calleeName(n) {
+			case "append":
+				// append(dst, v) retains v's backing array in dst;
+				// append(dst, v...) copies the elements and is safe.
+				for i, arg := range n.Args {
+					if i == 0 || (n.Ellipsis.IsValid() && i == len(n.Args)-1) {
+						continue
+					}
+					if v := trackedVar(pass, arg); v != nil {
+						record(v, arg.Pos(), true)
+					}
+				}
+			case "copy":
+				if len(n.Args) > 0 {
+					dst := n.Args[0]
+				peel:
+					for {
+						switch d := dst.(type) {
+						case *ast.SliceExpr:
+							dst = d.X
+						case *ast.IndexExpr:
+							dst = d.X
+						default:
+							break peel
+						}
+					}
+					if v := trackedVar(pass, dst); v != nil {
+						record(v, n.Pos(), false)
+					}
+				}
+			case "HashRowCols":
+				// The final argument is the scratch buffer the hash is
+				// encoded into; the row argument is only read.
+				if len(n.Args) > 0 {
+					if v := trackedVar(pass, n.Args[len(n.Args)-1]); v != nil {
+						record(v, n.Pos(), false)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	sameOuterLoop := func(obj *types.Var, a, b token.Pos) bool {
+		for _, l := range loops {
+			if a >= l.Pos() && a <= l.End() && b >= l.Pos() && b <= l.End() && obj.Pos() < l.Pos() {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, ev := range order {
+		if len(ev.escapes) == 0 || len(ev.mutations) == 0 {
+			continue
+		}
+		reported := false
+		for _, esc := range ev.escapes {
+			for _, mut := range ev.mutations {
+				if mut > esc {
+					pass.Reportf(mut, "%s is stored or emitted at line %d and mutated afterwards; the stored alias observes the write — clone or re-allocate before reuse", ev.obj.Name(), pass.Line(esc))
+					reported = true
+					break
+				}
+				if sameOuterLoop(ev.obj, esc, mut) {
+					pass.Reportf(esc, "%s is declared outside the loop, stored here and reused at line %d on a later iteration; the stored alias observes the reuse — declare it inside the loop or clone it", ev.obj.Name(), pass.Line(mut))
+					reported = true
+					break
+				}
+			}
+			if reported {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package algebra is the errfmt corpus. It deliberately shares its name
+// with the real domain package so the "<package>: " prefix rule applies.
+package algebra
+
+import (
+	"errors"
+	"fmt"
+)
+
+// badPrefix omits the domain prefix, so a failure does not name its layer.
+func badPrefix(name string) error {
+	return fmt.Errorf("unknown table %q", name) // want `lacks the "algebra: " domain prefix`
+}
+
+// badInvariant describes an invariant without citing the paper section it
+// comes from.
+func badInvariant() error {
+	return errors.New("algebra: invariant violation: terms out of order") // want `must cite the paper section`
+}
+
+// okPrefix carries the domain prefix.
+func okPrefix(name string) error {
+	return fmt.Errorf("algebra: unknown table %q", name)
+}
+
+// okInvariant cites §2.3 for the subsumption-order invariant.
+func okInvariant() error {
+	return errors.New("algebra: invariant violation (§2.3): subsumption order broken")
+}
+
+// okSprintf is not an error constructor; the prefix rule does not apply.
+func okSprintf(name string) string {
+	return fmt.Sprintf("term %s", name)
+}

@@ -1,0 +1,71 @@
+// Package a is the locksafe corpus: seeded lock-discipline violations and
+// near-miss negatives mirroring the exec pool's idioms.
+package a
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	wg sync.WaitGroup
+	n  int
+}
+
+// leak acquires and never releases: an early return or panic keeps the
+// mutex held forever.
+func (p *pool) leak() {
+	p.mu.Lock() // want `p\.mu\.Lock\(\) without a matching Unlock`
+	p.n++
+}
+
+// wrongSide releases the write side of the RWMutex for a read acquisition.
+func (p *pool) wrongSide() int {
+	p.rw.RLock() // want `p\.rw\.RLock\(\) without a matching RUnlock`
+	defer p.rw.Unlock()
+	return p.n
+}
+
+// spawn accounts for the goroutine from inside it: Wait can return before
+// the goroutine is scheduled and Add runs.
+func (p *pool) spawn() {
+	go func() {
+		p.wg.Add(1) // want `Add inside the goroutine it accounts for`
+		defer p.wg.Done()
+		p.n++
+	}()
+	p.wg.Wait()
+}
+
+// get is the canonical defer pairing.
+func (p *pool) get() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// set releases explicitly in the same scope.
+func (p *pool) set(v int) {
+	p.mu.Lock()
+	p.n = v
+	p.mu.Unlock()
+}
+
+// closureRelease releases inside a deferred closure, which still counts as
+// a same-scope release.
+func (p *pool) closureRelease() {
+	p.rw.Lock()
+	defer func() {
+		p.rw.Unlock()
+	}()
+	p.n++
+}
+
+// spawnOK calls Add before the go statement.
+func (p *pool) spawnOK() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.n++
+	}()
+	p.wg.Wait()
+}

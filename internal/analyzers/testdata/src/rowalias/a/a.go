@@ -1,0 +1,94 @@
+// Package a is the rowalias corpus: seeded aliasing violations and
+// near-miss negatives mirroring the idioms of the exec layer.
+package a
+
+// Value and Row mirror rel.Value / rel.Row; rowalias tracks by element
+// type name, so the corpus stays dependency-free.
+type Value struct{ x int }
+
+type Row []Value
+
+// HashRowCols mirrors rel.HashRowCols: the final argument is the scratch
+// buffer the columns are encoded into.
+func HashRowCols(cols []int, r Row, scratch []byte) (uint64, []byte) {
+	return 0, append(scratch, byte(len(r)))
+}
+
+var sink []Row
+
+// storeThenMutate stores the row and then writes through it: the stored
+// alias observes the write.
+func storeThenMutate(r Row) {
+	sink = append(sink, r)
+	r[0] = Value{1} // want `stored or emitted at line \d+ and mutated afterwards`
+}
+
+// crossIteration hoists the scratch buffer out of the loop and stores it in
+// the map each iteration: every entry aliases the same backing array.
+func crossIteration(rows []Row) map[string][]byte {
+	m := make(map[string][]byte)
+	buf := make([]byte, 0, 64)
+	for i, r := range rows {
+		var h uint64
+		h, buf = HashRowCols(nil, r, buf[:0])
+		_ = h
+		m[keyOf(i)] = buf // want `declared outside the loop, stored here and reused at line \d+`
+	}
+	return m
+}
+
+type holder struct{ key []byte }
+
+// fieldEscape parks the buffer in a struct field, then grows it: the field
+// may or may not observe the append depending on capacity.
+func fieldEscape(h *holder, b []byte) {
+	h.key = b
+	b = append(b, 0) // want `stored or emitted at line \d+ and mutated afterwards`
+	_ = b
+}
+
+// cloneBeforeStore is the sanctioned fix: the stored value is a copy, so
+// the later write is invisible to it.
+func cloneBeforeStore(r Row) {
+	c := make(Row, len(r))
+	copy(c, r)
+	sink = append(sink, c)
+	r[0] = Value{2}
+}
+
+// freshPerIteration allocates the row inside the loop: nothing outlives an
+// iteration, so the escape is safe.
+func freshPerIteration(rows []Row) []Row {
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		nr := make(Row, len(r))
+		copy(nr, r)
+		nr[0] = Value{3}
+		out = append(out, nr)
+	}
+	return out
+}
+
+// stringCopy reuses the scratch buffer across iterations but only stores
+// string(buf), which copies the bytes.
+func stringCopy(rows []Row) map[string]int {
+	m := make(map[string]int)
+	var buf []byte
+	for i, r := range rows {
+		_, buf = HashRowCols(nil, r, buf[:0])
+		m[string(buf)] = i
+	}
+	return m
+}
+
+// spreadCopy appends the elements (b...), which copies them into dst; the
+// later growth of b is invisible to dst.
+func spreadCopy(b []byte) []byte {
+	var dst []byte
+	dst = append(dst, b...)
+	b = append(b, 1)
+	_ = b
+	return dst
+}
+
+func keyOf(i int) string { return string(rune('a' + i)) }

@@ -2,6 +2,7 @@ package rel
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 )
 
@@ -68,6 +69,49 @@ func AppendEncoded(buf []byte, vals ...Value) []byte {
 		buf = appendValue(buf, v)
 	}
 	return buf
+}
+
+// DecodeValues decodes a key produced by EncodeValues (or AppendEncoded)
+// back into values. Integral floats fold into KindInt during encoding — in
+// line with Value.Equal — so the round trip is exact up to Equal, not up to
+// Kind. A failed decode means the input was not produced by the encoder.
+func DecodeValues(s string) ([]Value, error) {
+	var out []Value
+	b := []byte(s)
+	for len(b) > 0 {
+		k := Kind(b[0])
+		b = b[1:]
+		switch k {
+		case KindNull:
+			out = append(out, Null)
+		case KindInt, KindBool, KindDate:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("rel: truncated %s value in encoded key", k)
+			}
+			out = append(out, Value{kind: k, i: int64(binary.BigEndian.Uint64(b[:8]))})
+			b = b[8:]
+		case KindFloat:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("rel: truncated float value in encoded key")
+			}
+			out = append(out, Float(math.Float64frombits(binary.BigEndian.Uint64(b[:8]))))
+			b = b[8:]
+		case KindString:
+			if len(b) < 4 {
+				return nil, fmt.Errorf("rel: truncated string length in encoded key")
+			}
+			n := binary.BigEndian.Uint32(b[:4])
+			b = b[4:]
+			if uint64(len(b)) < uint64(n) {
+				return nil, fmt.Errorf("rel: truncated string value in encoded key")
+			}
+			out = append(out, Str(string(b[:n])))
+			b = b[n:]
+		default:
+			return nil, fmt.Errorf("rel: invalid kind tag %d in encoded key", k)
+		}
+	}
+	return out, nil
 }
 
 func appendValue(buf []byte, v Value) []byte {

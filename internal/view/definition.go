@@ -61,6 +61,11 @@ type Options struct {
 	// mutations are always applied serially, so results are identical —
 	// including row iteration structure and MaintStats — at every setting.
 	Parallelism int
+	// VerifyPlans statically verifies every freshly compiled maintenance
+	// plan against the paper's structural invariants (see planck.go) and
+	// fails the compilation on the first violation. It is always on under
+	// go test; set it explicitly for debug builds.
+	VerifyPlans bool
 }
 
 // AggSpec is the optional group-by on top of an SPOJ view (Section 3.3).

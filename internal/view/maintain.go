@@ -176,6 +176,11 @@ func (m *Maintainer) buildPlan(table string, fkOK bool) (*tablePlan, error) {
 	sort.SliceStable(p.indirect, func(i, j int) bool {
 		return len(p.indirect[i].term.Tables) > len(p.indirect[j].term.Tables)
 	})
+	if m.shouldVerify() {
+		if err := m.VerifyPlan(p, fkOK); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 

@@ -62,6 +62,15 @@ type (
 	AggSpec = view.AggSpec
 	// Aggregate is one aggregate output of an aggregation view.
 	Aggregate = algebra.Aggregate
+	// Strategy selects how the secondary delta is computed (Section 5).
+	Strategy = view.Strategy
+)
+
+// Secondary-delta strategies (Sections 5.2 and 5.3).
+const (
+	StrategyAuto     = view.StrategyAuto
+	StrategyFromView = view.StrategyFromView
+	StrategyFromBase = view.StrategyFromBase
 )
 
 // Value constructors.
@@ -491,6 +500,18 @@ func (v *View) Check() error {
 // Maintainer exposes the underlying maintainer (for tools and benchmarks
 // within this module).
 func (v *View) Maintainer() *view.Maintainer { return v.m }
+
+// CheckView compiles (or fetches from cache) the maintenance plan of every
+// base table the view references, under both update contracts (plain
+// insert/delete batches and decomposed modifies), and statically verifies
+// each against the paper's structural invariants. It returns the first
+// plan-invariant violation, with the paper section the violated invariant
+// comes from. It takes the write lock: plan compilation populates the cache.
+func CheckView(v *View) error {
+	v.db.mu.Lock()
+	defer v.db.mu.Unlock()
+	return v.m.VerifyAllPlans()
+}
 
 // ExplainMaintenance renders the maintenance plan for updates to a table as
 // the paper's Q1..Qn SQL-like statements (Section 7). It takes the write
