@@ -145,7 +145,7 @@ func BenchmarkAblationTheorem3(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, _, err := s.Target.OnInsertRows("customer", rows); err != nil {
+				if _, err := s.Target.OnInsertRows("customer", rows); err != nil {
 					b.Fatal(err)
 				}
 				b.StopTimer()
@@ -157,7 +157,7 @@ func BenchmarkAblationTheorem3(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := s.Target.OnDeleteRows("customer", deleted); err != nil {
+				if _, err := s.Target.OnDeleteRows("customer", deleted); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()

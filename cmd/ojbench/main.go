@@ -153,7 +153,22 @@ func fig5(sf float64, seed int64, insert bool) error {
 		}
 		fmt.Println()
 	}
-	fmt.Println()
+	// Changeset accounting: every measured run of a changeset-backed method
+	// must have committed (a rollback would mean the timing covered a failed,
+	// reverted run).
+	commits, rollbacks, undo := 0, 0, 0
+	for _, r := range results {
+		if r.Method == bench.MethodGK {
+			continue
+		}
+		if r.Commits > 0 {
+			commits += r.Commits
+		} else {
+			rollbacks++
+		}
+		undo += r.UndoRecords
+	}
+	fmt.Printf("changesets: commits=%d rollbacks=%d undo-records=%d\n\n", commits, rollbacks, undo)
 	return nil
 }
 
@@ -241,7 +256,7 @@ func customerInsert(sf float64, seed int64, disableFKGraph bool) (time.Duration,
 		return 0, err
 	}
 	t0 := time.Now()
-	if _, _, err := s.Target.OnInsertRows("customer", rows); err != nil {
+	if _, err := s.Target.OnInsertRows("customer", rows); err != nil {
 		return 0, err
 	}
 	return time.Since(t0), nil

@@ -146,48 +146,47 @@ type Fig5Result struct {
 	Elapsed       time.Duration
 	PrimaryRows   int
 	SecondaryRows int
+	// Commits counts maintenance runs that committed a changeset (always 0
+	// for the GK baseline, which has no changeset layer), and UndoRecords
+	// the undo-log entries those runs accumulated before committing.
+	Commits     int
+	UndoRecords int
 }
 
-// maintainable abstracts the systems under test.
+// maintainable abstracts the systems under test. Implementations return the
+// run's maintenance statistics; baselines without a changeset layer
+// fabricate row counts and leave Committed false.
 type maintainable interface {
-	OnInsertRows(table string, rows []rel.Row) (primary, secondary int, err error)
-	OnDeleteRows(table string, rows []rel.Row) (primary, secondary int, err error)
+	OnInsertRows(table string, rows []rel.Row) (*view.MaintStats, error)
+	OnDeleteRows(table string, rows []rel.Row) (*view.MaintStats, error)
 }
 
 type ourView struct{ m *view.Maintainer }
 
-func (v ourView) OnInsertRows(table string, rows []rel.Row) (int, int, error) {
-	st, err := v.m.OnInsert(table, rows)
-	if err != nil {
-		return 0, 0, err
-	}
-	return st.PrimaryRows, st.SecondaryRows, nil
+func (v ourView) OnInsertRows(table string, rows []rel.Row) (*view.MaintStats, error) {
+	return v.m.OnInsert(table, rows)
 }
 
-func (v ourView) OnDeleteRows(table string, rows []rel.Row) (int, int, error) {
-	st, err := v.m.OnDelete(table, rows)
-	if err != nil {
-		return 0, 0, err
-	}
-	return st.PrimaryRows, st.SecondaryRows, nil
+func (v ourView) OnDeleteRows(table string, rows []rel.Row) (*view.MaintStats, error) {
+	return v.m.OnDelete(table, rows)
 }
 
 type gkView struct{ v *gk.View }
 
-func (g gkView) OnInsertRows(table string, rows []rel.Row) (int, int, error) {
+func (g gkView) OnInsertRows(table string, rows []rel.Row) (*view.MaintStats, error) {
 	before := g.v.Len()
 	if err := g.v.OnInsert(table, rows); err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	return g.v.Len() - before, 0, nil
+	return &view.MaintStats{PrimaryRows: g.v.Len() - before}, nil
 }
 
-func (g gkView) OnDeleteRows(table string, rows []rel.Row) (int, int, error) {
+func (g gkView) OnDeleteRows(table string, rows []rel.Row) (*view.MaintStats, error) {
 	before := g.v.Len()
 	if err := g.v.OnDelete(table, rows); err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	return before - g.v.Len(), 0, nil
+	return &view.MaintStats{PrimaryRows: before - g.v.Len()}, nil
 }
 
 // Setup holds a generated database with one maintained view, ready for a
@@ -274,7 +273,7 @@ func (s *Setup) InsertBatch(rows []rel.Row) (time.Duration, error) {
 		return 0, err
 	}
 	t0 := time.Now()
-	if _, _, err := s.Target.OnInsertRows("lineitem", rows); err != nil {
+	if _, err := s.Target.OnInsertRows("lineitem", rows); err != nil {
 		return 0, err
 	}
 	return time.Since(t0), nil
@@ -293,7 +292,7 @@ func (s *Setup) DeleteBatch(rows []rel.Row) (time.Duration, error) {
 		return 0, err
 	}
 	t0 := time.Now()
-	if _, _, err := s.Target.OnDeleteRows("lineitem", deleted); err != nil {
+	if _, err := s.Target.OnDeleteRows("lineitem", deleted); err != nil {
 		return 0, err
 	}
 	return time.Since(t0), nil
@@ -336,11 +335,20 @@ func (s *Setup) RunInsert(n int) (Fig5Result, error) {
 		return Fig5Result{}, err
 	}
 	t0 := time.Now()
-	p, sec, err := s.Target.OnInsertRows("lineitem", rows)
+	st, err := s.Target.OnInsertRows("lineitem", rows)
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	return Fig5Result{N: n, Elapsed: time.Since(t0), PrimaryRows: p, SecondaryRows: sec}, nil
+	return fig5Point(n, time.Since(t0), st), nil
+}
+
+// fig5Point folds one maintenance run's stats into a Figure 5 point.
+func fig5Point(n int, elapsed time.Duration, st *view.MaintStats) Fig5Result {
+	r := Fig5Result{N: n, Elapsed: elapsed, PrimaryRows: st.PrimaryRows, SecondaryRows: st.SecondaryRows, UndoRecords: st.UndoRecords}
+	if st.Committed {
+		r.Commits = 1
+	}
+	return r
 }
 
 // RunDelete applies an N-row lineitem deletion and times the maintenance
@@ -352,11 +360,11 @@ func (s *Setup) RunDelete(n int) (Fig5Result, error) {
 		return Fig5Result{}, err
 	}
 	t0 := time.Now()
-	p, sec, err := s.Target.OnDeleteRows("lineitem", deleted)
+	st, err := s.Target.OnDeleteRows("lineitem", deleted)
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	return Fig5Result{N: n, Elapsed: time.Since(t0), PrimaryRows: p, SecondaryRows: sec}, nil
+	return fig5Point(n, time.Since(t0), st), nil
 }
 
 // RunFig5 measures one curve set of Figure 5 ((a) insertions or (b)
@@ -404,8 +412,8 @@ func RunFig5Opts(sf float64, seed int64, insert bool, methods []Method, reps int
 			r.PaperN = paperN
 			results = append(results, r)
 			if out != nil {
-				fmt.Fprintf(out, "  %-16s paperN=%-6d n=%-6d elapsed=%-12s primary=%-6d secondary=%d\n",
-					r.Method, r.PaperN, r.N, r.Elapsed.Round(time.Microsecond), r.PrimaryRows, r.SecondaryRows)
+				fmt.Fprintf(out, "  %-16s paperN=%-6d n=%-6d elapsed=%-12s primary=%-6d secondary=%-6d commits=%d undo=%d\n",
+					r.Method, r.PaperN, r.N, r.Elapsed.Round(time.Microsecond), r.PrimaryRows, r.SecondaryRows, r.Commits, r.UndoRecords)
 			}
 		}
 	}

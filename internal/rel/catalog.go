@@ -350,6 +350,57 @@ func (c *Catalog) Update(table string, key []Value, newRow Row) (Row, error) {
 	return old, nil
 }
 
+// RollbackInsert removes the rows of a just-applied Insert batch, restoring
+// the pre-batch state. Constraint checks are skipped: the pre-batch state
+// satisfied every constraint, and the caller guarantees nothing else
+// changed in between (the ojv.Database rolls back under the same write
+// lock the Insert ran under). An error means a row is already missing,
+// which indicates an interleaved mutation.
+func (c *Catalog) RollbackInsert(table string, rows []Row) error {
+	t := c.tables[table]
+	if t == nil {
+		return fmt.Errorf("rel: unknown table %s", table)
+	}
+	for _, row := range rows {
+		if _, ok := t.deleteByKey(t.KeyOf(row)); !ok {
+			return fmt.Errorf("rel: table %s: rollback of insert: row with key %v is missing", table, row.Project(t.keyCols))
+		}
+	}
+	return nil
+}
+
+// RollbackDelete re-inserts the rows returned by a just-applied Delete,
+// restoring the pre-batch state under the same contract as RollbackInsert.
+func (c *Catalog) RollbackDelete(table string, rows []Row) error {
+	t := c.tables[table]
+	if t == nil {
+		return fmt.Errorf("rel: unknown table %s", table)
+	}
+	for _, row := range rows {
+		if err := t.insert(row); err != nil {
+			return fmt.Errorf("rel: rollback of delete: %w", err)
+		}
+	}
+	return nil
+}
+
+// RollbackUpdate restores the old row replaced by a just-applied Update,
+// under the same contract as RollbackInsert.
+func (c *Catalog) RollbackUpdate(table string, key []Value, oldRow Row) error {
+	t := c.tables[table]
+	if t == nil {
+		return fmt.Errorf("rel: unknown table %s", table)
+	}
+	enc := EncodeValues(key...)
+	if _, ok := t.deleteByKey(enc); !ok {
+		return fmt.Errorf("rel: table %s: rollback of update: row with key %v is missing", table, key)
+	}
+	if err := t.insert(oldRow); err != nil {
+		return fmt.Errorf("rel: rollback of update: %w", err)
+	}
+	return nil
+}
+
 // SortRows sorts rows by their full encoded value, for deterministic output
 // in tools and tests.
 func SortRows(rows []Row) {

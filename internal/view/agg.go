@@ -37,6 +37,17 @@ type aggAcc struct {
 	nonNull int64
 }
 
+// clone deep-copies a group for the changeset undo log (values are
+// immutable, so copying the slices suffices).
+func (g *aggGroup) clone() *aggGroup {
+	return &aggGroup{
+		key:      append(rel.Row(nil), g.key...),
+		rowCount: g.rowCount,
+		nnTable:  append([]int64(nil), g.nnTable...),
+		aggs:     append([]aggAcc(nil), g.aggs...),
+	}
+}
+
 func newAggMaterialized(def *Definition, opts Options) (*AggMaterialized, error) {
 	if def.Agg == nil {
 		return nil, fmt.Errorf("view %s: not an aggregation view", def.Name)
@@ -92,21 +103,30 @@ func (a *AggMaterialized) NotNullCount(groupKey rel.Row, table string) (int64, b
 	return g.rowCount, true // tables present in every term count every row
 }
 
-// Materialize recomputes the groups from scratch.
+// Materialize recomputes the groups from scratch. The stored groups are
+// replaced only on success, so a mid-build failure leaves the view intact.
 func (a *AggMaterialized) Materialize() error {
 	ctx := &exec.Context{Catalog: a.def.cat}
 	res, err := exec.Eval(ctx, a.def.Expr)
 	if err != nil {
 		return err
 	}
+	old := a.groups
 	a.groups = make(map[string]*aggGroup)
-	return a.fold(res.Rows, res.Schema, +1)
+	if err := a.fold(nil, "", res.Rows, res.Schema, +1); err != nil {
+		a.groups = old
+		return err
+	}
+	return nil
 }
 
 // fold merges rows (over any sub-schema of the tuple space) into the groups
 // with the given sign. Columns missing from the schema are treated as NULL
-// (they belong to null-extended tables).
-func (a *AggMaterialized) fold(rows []rel.Row, schema rel.Schema, sign int64) error {
+// (they belong to null-extended tables). A non-nil cs snapshots each
+// touched group before its first mutation (and consults the fault hook at
+// site), so the fold participates in the run's undo log; Materialize folds
+// with a nil cs into a fresh group map it swaps in atomically.
+func (a *AggMaterialized) fold(cs *Changeset, site string, rows []rel.Row, schema rel.Schema, sign int64) error {
 	spec := a.def.Agg
 	groupPos := make([]int, len(spec.GroupCols))
 	for i, c := range spec.GroupCols {
@@ -135,6 +155,12 @@ func (a *AggMaterialized) fold(rows []rel.Row, schema rel.Schema, sign int64) er
 			}
 		}
 		k := rel.EncodeValues(key...)
+		if cs != nil {
+			if err := cs.fail(site); err != nil {
+				return err
+			}
+			cs.snapshotGroup(k)
+		}
 		g := a.groups[k]
 		if g == nil {
 			if sign < 0 {
@@ -221,13 +247,13 @@ func (a *AggMaterialized) Rows() []rel.Row {
 // folded in with the update's sign, then the secondary delta (computed from
 // base tables — an aggregated view cannot serve term extraction, Section
 // 5.3) is folded with the opposite sign.
-func (m *Maintainer) applyAgg(ctx *exec.Context, plan *tablePlan, primary exec.Relation, isInsert bool, stats *MaintStats) error {
+func (m *Maintainer) applyAgg(cs *Changeset, ctx *exec.Context, plan *tablePlan, primary exec.Relation, isInsert bool, stats *MaintStats) error {
 	sign := int64(1)
 	if !isInsert {
 		sign = -1
 	}
 	if len(primary.Rows) > 0 {
-		if err := m.agg.fold(primary.Rows, primary.Schema, sign); err != nil {
+		if err := m.agg.fold(cs, "agg-primary-fold", primary.Rows, primary.Schema, sign); err != nil {
 			return err
 		}
 	}
@@ -240,7 +266,7 @@ func (m *Maintainer) applyAgg(ctx *exec.Context, plan *tablePlan, primary exec.R
 		if len(cand.Rows) == 0 {
 			continue
 		}
-		if err := m.agg.fold(cand.Rows, cand.Schema, -sign); err != nil {
+		if err := m.agg.fold(cs, "agg-secondary-fold", cand.Rows, cand.Schema, -sign); err != nil {
 			return err
 		}
 		stats.SecondaryByTerm[ip.term.SourceKey()] = len(cand.Rows)

@@ -66,6 +66,13 @@ type Options struct {
 	// fails the compilation on the first violation. It is always on under
 	// go test; set it explicitly for debug builds.
 	VerifyPlans bool
+	// FailPoint, when non-nil, is consulted immediately before every staged
+	// view mutation with that mutation site's label (the site list is
+	// documented on Changeset). A non-nil result aborts the maintenance run
+	// at exactly that point and the run's changeset rolls back. It exists
+	// for deterministic fault-injection tests of the atomic-apply protocol
+	// and must be nil in production use.
+	FailPoint func(site string) error
 }
 
 // AggSpec is the optional group-by on top of an SPOJ view (Section 3.3).

@@ -17,11 +17,15 @@ import (
 // the catalog, exactly as the paper assumes ("the base tables have already
 // been updated").
 type Maintainer struct {
-	mv    *Materialized
-	agg   *AggMaterialized // non-nil for aggregation views
-	def   *Definition
-	opts  Options
-	plans map[planKey]*tablePlan
+	mv   *Materialized
+	agg  *AggMaterialized // non-nil for aggregation views
+	def  *Definition
+	opts Options
+	// planMu guards plans: the cache is populated lazily from paths the
+	// Database documents as concurrency-safe (Query answering, EXPLAIN,
+	// plan verification), which may race with each other.
+	planMu sync.Mutex
+	plans  map[planKey]*tablePlan
 }
 
 type planKey struct {
@@ -86,8 +90,17 @@ type MaintStats struct {
 	PrimaryRows   int
 	SecondaryRows int
 	// SecondaryByTerm maps a term's source key to the orphan rows added or
-	// removed for it.
+	// removed for it. For a modify it sums the delete- and insert-pass
+	// contributions per term.
 	SecondaryByTerm map[string]int
+	// UndoRecords counts the undo-log records the run staged before
+	// committing (one per view mutation).
+	UndoRecords int
+	// Committed reports that the run's changeset committed. Runs that
+	// surface an error roll back and never produce stats, so this is true
+	// on every MaintStats the maintainer returns; it exists so callers that
+	// aggregate stats (ojbench) can count commits against rollbacks.
+	Committed bool
 }
 
 // NewMaintainer registers a maintainer over a freshly materialized view.
@@ -126,10 +139,12 @@ func (m *Maintainer) Materialize() error {
 // Plan returns the compiled maintenance plan for a table (building and
 // caching it on first use). fkOK declares that the update is a plain
 // insert/delete batch for which the Section 6 foreign-key optimizations are
-// sound.
+// sound. Plan is safe for concurrent use.
 func (m *Maintainer) Plan(table string, fkOK bool) (*tablePlan, error) {
 	fkOK = fkOK && !m.opts.DisableFKGraph
 	key := planKey{table: table, fkOK: fkOK}
+	m.planMu.Lock()
+	defer m.planMu.Unlock()
 	if p, ok := m.plans[key]; ok {
 		return p, nil
 	}
@@ -377,34 +392,104 @@ func buildJoinTree(leaves []algebra.Expr, conjuncts []algebra.Pred) algebra.Expr
 	return tree
 }
 
-// OnInsert maintains the view after rows were inserted into table.
+// OnInsert maintains the view after rows were inserted into table. The run
+// is atomic: on error the view rolls back to its pre-call state.
 func (m *Maintainer) OnInsert(table string, delta []rel.Row) (*MaintStats, error) {
-	return m.apply(table, delta, true, true)
+	return m.atomically(func(cs *Changeset) (*MaintStats, error) {
+		return m.ApplyInsert(cs, table, delta)
+	})
 }
 
-// OnDelete maintains the view after rows were deleted from table.
+// OnDelete maintains the view after rows were deleted from table. The run
+// is atomic: on error the view rolls back to its pre-call state.
 func (m *Maintainer) OnDelete(table string, delta []rel.Row) (*MaintStats, error) {
-	return m.apply(table, delta, false, true)
+	return m.atomically(func(cs *Changeset) (*MaintStats, error) {
+		return m.ApplyDelete(cs, table, delta)
+	})
 }
 
 // OnModify maintains the view for an update decomposed into delete+insert.
 // The foreign-key optimizations are disabled, per the first exclusion of
-// Section 6.
+// Section 6. Both passes stage into one changeset, so a failure between or
+// within them rolls the whole modify back.
 func (m *Maintainer) OnModify(table string, deleted, inserted []rel.Row) (*MaintStats, error) {
-	s1, err := m.apply(table, deleted, false, false)
-	if err != nil {
-		return nil, err
-	}
-	s2, err := m.apply(table, inserted, true, false)
-	if err != nil {
-		return nil, err
-	}
-	s2.PrimaryRows += s1.PrimaryRows
-	s2.SecondaryRows += s1.SecondaryRows
-	return s2, nil
+	return m.atomically(func(cs *Changeset) (*MaintStats, error) {
+		return m.ApplyModify(cs, table, deleted, inserted)
+	})
 }
 
-func (m *Maintainer) apply(table string, delta []rel.Row, isInsert, fkOK bool) (*MaintStats, error) {
+// atomically runs one staged maintenance pass in a fresh changeset,
+// committing on success and rolling back on error.
+func (m *Maintainer) atomically(f func(*Changeset) (*MaintStats, error)) (*MaintStats, error) {
+	cs := m.Begin()
+	stats, err := f(cs)
+	if err != nil {
+		if rbErr := cs.Rollback(); rbErr != nil {
+			return nil, fmt.Errorf("%v; additionally: %w", err, rbErr)
+		}
+		return nil, err
+	}
+	stats.UndoRecords = cs.Len()
+	cs.Commit()
+	stats.Committed = true
+	return stats, nil
+}
+
+// ApplyInsert stages the maintenance for an insert batch into cs without
+// committing; the caller owns Commit/Rollback. The Database uses this to
+// make one base-table update atomic across every registered view.
+func (m *Maintainer) ApplyInsert(cs *Changeset, table string, delta []rel.Row) (*MaintStats, error) {
+	return m.apply(cs, table, delta, true, true)
+}
+
+// ApplyDelete stages the maintenance for a delete batch into cs without
+// committing.
+func (m *Maintainer) ApplyDelete(cs *Changeset, table string, delta []rel.Row) (*MaintStats, error) {
+	return m.apply(cs, table, delta, false, true)
+}
+
+// ApplyModify stages both passes of a decomposed modify into cs without
+// committing, merging the two passes' statistics.
+func (m *Maintainer) ApplyModify(cs *Changeset, table string, deleted, inserted []rel.Row) (*MaintStats, error) {
+	s1, err := m.apply(cs, table, deleted, false, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.fail("modify-between-passes"); err != nil {
+		return nil, err
+	}
+	s2, err := m.apply(cs, table, inserted, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return mergeStats(s1, s2), nil
+}
+
+// mergeStats combines the delete-pass and insert-pass statistics of a
+// decomposed modify into one report: row counts sum (including per-term
+// secondary counts) and the term counts take the larger pass, so neither
+// pass's plan shape is dropped.
+func mergeStats(s1, s2 *MaintStats) *MaintStats {
+	out := *s2
+	out.PrimaryRows += s1.PrimaryRows
+	out.SecondaryRows += s1.SecondaryRows
+	if s1.DirectTerms > out.DirectTerms {
+		out.DirectTerms = s1.DirectTerms
+	}
+	if s1.IndirectTerms > out.IndirectTerms {
+		out.IndirectTerms = s1.IndirectTerms
+	}
+	out.SecondaryByTerm = make(map[string]int, len(s1.SecondaryByTerm)+len(s2.SecondaryByTerm))
+	for k, n := range s1.SecondaryByTerm {
+		out.SecondaryByTerm[k] += n
+	}
+	for k, n := range s2.SecondaryByTerm {
+		out.SecondaryByTerm[k] += n
+	}
+	return &out
+}
+
+func (m *Maintainer) apply(cs *Changeset, table string, delta []rel.Row, isInsert, fkOK bool) (*MaintStats, error) {
 	stats := &MaintStats{Table: table, Insert: isInsert, SecondaryByTerm: make(map[string]int)}
 	if len(delta) == 0 {
 		return stats, nil
@@ -441,7 +526,7 @@ func (m *Maintainer) apply(table string, delta []rel.Row, isInsert, fkOK bool) (
 	stats.PrimaryRows = len(primary.Rows)
 
 	if m.agg != nil {
-		return stats, m.applyAgg(ctx, plan, primary, isInsert, stats)
+		return stats, m.applyAgg(cs, ctx, plan, primary, isInsert, stats)
 	}
 
 	// Step 1: apply the primary delta to the view.
@@ -451,13 +536,17 @@ func (m *Maintainer) apply(table string, delta []rel.Row, isInsert, fkOK bool) (
 	}
 	if isInsert {
 		for _, row := range projected {
-			if err := m.mv.insertRow(row); err != nil {
+			if err := cs.insertRow("primary-insert", row); err != nil {
 				return nil, err
 			}
 		}
 	} else {
 		for _, row := range projected {
-			if _, ok := m.mv.deleteKey(m.mv.viewKey(row)); !ok {
+			_, ok, err := cs.deleteKey("primary-delete", m.mv.viewKey(row))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
 				return nil, fmt.Errorf("view %s: primary delta row not found for deletion: %s", m.def.Name, row)
 			}
 		}
@@ -474,7 +563,7 @@ func (m *Maintainer) apply(table string, delta []rel.Row, isInsert, fkOK bool) (
 		// direction the paper's future-work section sketches (combining the
 		// ΔV^I computations for different terms by reusing partial results;
 		// here the shared work is the per-row term classification).
-		counts, err := m.secondaryInsertCombined(plan.indirect, projected)
+		counts, err := m.secondaryInsertCombined(cs, plan.indirect, projected)
 		if err != nil {
 			return nil, err
 		}
@@ -489,7 +578,7 @@ func (m *Maintainer) apply(table string, delta []rel.Row, isInsert, fkOK bool) (
 		// order (larger terms first) because one term's new orphan changes a
 		// later term's containment check — see buildPlan.
 		for _, ip := range plan.indirect {
-			n, err := m.secondaryFromView(ip, primary, projected, isInsert)
+			n, err := m.secondaryFromView(cs, ip, primary, projected, isInsert)
 			if err != nil {
 				return nil, err
 			}
@@ -507,7 +596,7 @@ func (m *Maintainer) apply(table string, delta []rel.Row, isInsert, fkOK bool) (
 		return nil, err
 	}
 	for i, ip := range plan.indirect {
-		n, err := m.applySecondaryFromBase(ip, cands[i], isInsert)
+		n, err := m.applySecondaryFromBase(cs, ip, cands[i], isInsert)
 		if err != nil {
 			return nil, err
 		}

@@ -73,8 +73,10 @@ func deletableKeys(t *testing.T, cat *rel.Catalog, table string, n int, withFK b
 			referenced[rel.EncodeRowCols(row, cols)] = true
 		}
 	}
+	rows := cat.Table(table).Rows()
+	rel.SortRows(rows) // Rows() has map order; keep key choice deterministic
 	var keys [][]rel.Value
-	for _, row := range cat.Table(table).Rows() {
+	for _, row := range rows {
 		kv := row.Project(cat.Table(table).KeyCols())
 		if referenced[rel.EncodeValues(kv...)] {
 			continue

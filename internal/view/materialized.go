@@ -197,16 +197,24 @@ func (m *Materialized) deleteKey(k string) (rel.Row, bool) {
 // a new orphan iff no remaining view row contains it.
 func (m *Materialized) containsTuple(tables []string, encKeys map[string]string) bool {
 	if m.perTable != nil {
-		// Probe the least-populated per-table index first.
-		best := tables[0]
-		bestSet := m.perTable[best][encKeys[best]]
+		// An empty probe set for any table proves no view row contains the
+		// tuple; otherwise probe the genuinely least-populated index. (A nil
+		// first set must short-circuit, not be "improved upon" by a larger
+		// one — replacing a provably-empty probe with a populated one turned
+		// a negative lookup into a scan of the biggest bucket.)
+		bestSet := m.perTable[tables[0]][encKeys[tables[0]]]
+		if len(bestSet) == 0 {
+			return false
+		}
 		for _, t := range tables[1:] {
 			s := m.perTable[t][encKeys[t]]
-			if len(s) < len(bestSet) || bestSet == nil {
-				best, bestSet = t, s
+			if len(s) == 0 {
+				return false
+			}
+			if len(s) < len(bestSet) {
+				bestSet = s
 			}
 		}
-		_ = best
 		for vk := range bestSet {
 			if m.rowMatches(m.rows[vk], tables, encKeys) {
 				return true
@@ -251,19 +259,23 @@ func (m *Materialized) orphanKeyFor(row rel.Row, termTables map[string]bool) str
 }
 
 // Materialize recomputes the view contents from scratch by evaluating the
-// definition expression, replacing whatever is stored.
+// definition expression. The stored contents are replaced only on success:
+// the rebuild happens in a staging copy that is swapped in atomically, so a
+// mid-build failure (e.g. a duplicate view key from an out-of-contract
+// definition) leaves the current contents intact.
 func (m *Materialized) Materialize() error {
 	ctx := &exec.Context{Catalog: m.def.cat}
 	res, err := exec.Eval(ctx, m.def.Expr)
 	if err != nil {
 		return err
 	}
-	m.rows = make(map[string]rel.Row, len(res.Rows))
-	m.patternCount = make(map[uint32]int)
+	staged := *m
+	staged.rows = make(map[string]rel.Row, len(res.Rows))
+	staged.patternCount = make(map[uint32]int)
 	if m.perTable != nil {
-		m.perTable = make(map[string]map[string]map[string]struct{}, len(m.tableOrder))
+		staged.perTable = make(map[string]map[string]map[string]struct{}, len(m.tableOrder))
 		for _, t := range m.tableOrder {
-			m.perTable[t] = make(map[string]map[string]struct{})
+			staged.perTable[t] = make(map[string]map[string]struct{})
 		}
 	}
 	proj, err := projectToOutput(res, m.def, m.schema)
@@ -271,10 +283,11 @@ func (m *Materialized) Materialize() error {
 		return err
 	}
 	for _, row := range proj {
-		if err := m.insertRow(row); err != nil {
+		if err := staged.insertRow(row); err != nil {
 			return err
 		}
 	}
+	m.rows, m.patternCount, m.perTable = staged.rows, staged.patternCount, staged.perTable
 	return nil
 }
 

@@ -20,7 +20,7 @@ import (
 // Delete case: (δ πTi.* σPi ΔV^D) ⋉la_eq(Ti) (V−ΔV^D) — projections of
 // deleted parent tuples that are no longer contained in any view row become
 // new orphans and are inserted.
-func (m *Maintainer) secondaryFromView(ip *indirectPlan, primary exec.Relation, projected []rel.Row, isInsert bool) (int, error) {
+func (m *Maintainer) secondaryFromView(cs *Changeset, ip *indirectPlan, primary exec.Relation, projected []rel.Row, isInsert bool) (int, error) {
 	mv := m.mv
 	n := 0
 	if isInsert {
@@ -30,7 +30,11 @@ func (m *Maintainer) secondaryFromView(ip *indirectPlan, primary exec.Relation, 
 				continue
 			}
 			key := mv.orphanKeyFor(pr, ip.tiSet)
-			if _, ok := mv.deleteKey(key); ok {
+			_, ok, err := cs.deleteKey("secondary-orphan-delete", key)
+			if err != nil {
+				return n, err
+			}
+			if ok {
 				n++
 			}
 		}
@@ -70,7 +74,7 @@ func (m *Maintainer) secondaryFromView(ip *indirectPlan, primary exec.Relation, 
 				orphan[i] = pr[i]
 			}
 		}
-		if err := mv.insertRow(orphan); err != nil {
+		if err := cs.insertRow("secondary-orphan-insert", orphan); err != nil {
 			return n, err
 		}
 		n++
@@ -85,7 +89,7 @@ func (m *Maintainer) secondaryFromView(ip *indirectPlan, primary exec.Relation, 
 // (orphan deletions are keyed and idempotent, so term order is irrelevant
 // for insertions); it exists because the shared per-row work dominates when
 // several terms are affected.
-func (m *Maintainer) secondaryInsertCombined(plans []*indirectPlan, projected []rel.Row) (map[string]int, error) {
+func (m *Maintainer) secondaryInsertCombined(cs *Changeset, plans []*indirectPlan, projected []rel.Row) (map[string]int, error) {
 	mv := m.mv
 	counts := make(map[string]int, len(plans))
 	for _, pr := range projected {
@@ -95,7 +99,11 @@ func (m *Maintainer) secondaryInsertCombined(plans []*indirectPlan, projected []
 				continue
 			}
 			key := mv.orphanKeyFor(pr, ip.tiSet)
-			if _, ok := mv.deleteKey(key); ok {
+			_, ok, err := cs.deleteKey("secondary-orphan-delete", key)
+			if err != nil {
+				return counts, err
+			}
+			if ok {
 				counts[ip.term.SourceKey()]++
 			}
 		}
@@ -213,7 +221,7 @@ func (m *Maintainer) secondaryCandidatesFromBase(ctx *exec.Context, ip *indirect
 // the stored view: prior orphans are deleted after an insertion, new orphans
 // are inserted after a deletion. Unlike candidate computation, application
 // mutates the view and must run serially, in plan order.
-func (m *Maintainer) applySecondaryFromBase(ip *indirectPlan, cand exec.Relation, isInsert bool) (int, error) {
+func (m *Maintainer) applySecondaryFromBase(cs *Changeset, ip *indirectPlan, cand exec.Relation, isInsert bool) (int, error) {
 	if len(cand.Rows) == 0 {
 		return 0, nil
 	}
@@ -233,7 +241,11 @@ func (m *Maintainer) applySecondaryFromBase(ip *indirectPlan, cand exec.Relation
 			for _, t := range ip.term.Tables {
 				encKeys[t] = rel.EncodeRowCols(c, keyCols[t])
 			}
-			if _, ok := mv.deleteKey(mv.orphanKeyFromEnc(ip.tiSet, encKeys)); ok {
+			_, ok, err := cs.deleteKey("frombase-orphan-delete", mv.orphanKeyFromEnc(ip.tiSet, encKeys))
+			if err != nil {
+				return n, err
+			}
+			if ok {
 				n++
 			}
 		}
@@ -254,7 +266,7 @@ func (m *Maintainer) applySecondaryFromBase(ip *indirectPlan, cand exec.Relation
 				orphan[i] = c[src]
 			}
 		}
-		if err := mv.insertRow(orphan); err != nil {
+		if err := cs.insertRow("frombase-orphan-insert", orphan); err != nil {
 			return n, err
 		}
 		n++

@@ -204,6 +204,12 @@ func Avg(c ColRef, name string) Aggregate { return Aggregate{Func: algebra.AggAv
 // CreateView, DDL) serialize behind a write lock, and view reads take a
 // shared read lock, so readers always observe a view state consistent with
 // the base tables.
+//
+// Updates are atomic across the base table and every registered view:
+// maintenance stages each view's mutations in an undo-logged changeset, and
+// on any failure all staged changesets and the base-table delta roll back,
+// so an error from Insert/Delete/Update means "nothing happened" rather
+// than a half-maintained database.
 type Database struct {
 	mu    sync.RWMutex
 	cat   *rel.Catalog
@@ -382,27 +388,23 @@ func OpenSnapshot(r io.Reader) (*Database, error) {
 }
 
 // Insert inserts rows into a base table and incrementally maintains every
-// registered view.
+// registered view. The call is atomic: on error neither the base table nor
+// any view has changed.
 func (db *Database) Insert(table string, rows []Row) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.cat.Insert(table, rows); err != nil {
 		return err
 	}
-	for _, name := range db.order {
-		v := db.views[name]
-		stats, err := v.m.OnInsert(table, rows)
-		if err != nil {
-			return fmt.Errorf("ojv: maintaining view %s: %w", name, err)
-		}
-		v.LastStats = stats
-	}
-	return nil
+	return db.maintainAll(func(v *View, cs *view.Changeset) (*MaintStats, error) {
+		return v.m.ApplyInsert(cs, table, rows)
+	}, func() error { return db.cat.RollbackInsert(table, rows) })
 }
 
 // Delete removes the rows with the given keys from a base table and
 // incrementally maintains every registered view. It returns the deleted
-// rows.
+// rows. The call is atomic: on error neither the base table nor any view
+// has changed.
 func (db *Database) Delete(table string, keys [][]Value) ([]Row, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -410,13 +412,11 @@ func (db *Database) Delete(table string, keys [][]Value) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, name := range db.order {
-		v := db.views[name]
-		stats, err := v.m.OnDelete(table, deleted)
-		if err != nil {
-			return nil, fmt.Errorf("ojv: maintaining view %s: %w", name, err)
-		}
-		v.LastStats = stats
+	err = db.maintainAll(func(v *View, cs *view.Changeset) (*MaintStats, error) {
+		return v.m.ApplyDelete(cs, table, deleted)
+	}, func() error { return db.cat.RollbackDelete(table, deleted) })
+	if err != nil {
+		return nil, err
 	}
 	return deleted, nil
 }
@@ -424,7 +424,8 @@ func (db *Database) Delete(table string, keys [][]Value) ([]Row, error) {
 // Update replaces a row in place (the key must not change). For view
 // maintenance the update is decomposed into a delete plus an insert with
 // the foreign-key optimizations disabled, per the paper's first exclusion
-// in Section 6.
+// in Section 6. The call is atomic: on error neither the base table nor
+// any view has changed.
 func (db *Database) Update(table string, key []Value, newRow Row) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -432,13 +433,49 @@ func (db *Database) Update(table string, key []Value, newRow Row) error {
 	if err != nil {
 		return err
 	}
+	return db.maintainAll(func(v *View, cs *view.Changeset) (*MaintStats, error) {
+		return v.m.ApplyModify(cs, table, []Row{old}, []Row{newRow})
+	}, func() error { return db.cat.RollbackUpdate(table, key, old) })
+}
+
+// maintainAll stages one maintenance pass per registered view and commits
+// all of them together. On any failure every staged changeset rolls back in
+// reverse registration order and undoBase reverts the base-table delta, so
+// the database returns to its pre-call state. LastStats is only published
+// for committed runs.
+func (db *Database) maintainAll(apply func(v *View, cs *view.Changeset) (*MaintStats, error), undoBase func() error) error {
+	type stagedRun struct {
+		v     *View
+		cs    *view.Changeset
+		stats *MaintStats
+	}
+	var staged []stagedRun
 	for _, name := range db.order {
 		v := db.views[name]
-		stats, err := v.m.OnModify(table, []Row{old}, []Row{newRow})
+		cs := v.m.Begin()
+		stats, err := apply(v, cs)
 		if err != nil {
+			rbErr := cs.Rollback()
+			for i := len(staged) - 1; i >= 0; i-- {
+				if e := staged[i].cs.Rollback(); e != nil && rbErr == nil {
+					rbErr = e
+				}
+			}
+			if e := undoBase(); e != nil && rbErr == nil {
+				rbErr = e
+			}
+			if rbErr != nil {
+				return fmt.Errorf("ojv: maintaining view %s: %v (rollback also failed: %v)", name, err, rbErr)
+			}
 			return fmt.Errorf("ojv: maintaining view %s: %w", name, err)
 		}
-		v.LastStats = stats
+		staged = append(staged, stagedRun{v: v, cs: cs, stats: stats})
+	}
+	for _, s := range staged {
+		s.stats.UndoRecords = s.cs.Len()
+		s.cs.Commit()
+		s.stats.Committed = true
+		s.v.LastStats = s.stats
 	}
 	return nil
 }
