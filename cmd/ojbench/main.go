@@ -10,12 +10,16 @@
 //	ojbench -experiment fig5b
 //	ojbench -experiment ablations
 //	ojbench -experiment scaling
+//	ojbench -experiment fig5a -trace trace.json -metrics   # observability
+//	ojbench -experiment fig5a -pprof localhost:6060
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"sort"
@@ -23,6 +27,7 @@ import (
 
 	"ojv/internal/bench"
 	"ojv/internal/fixture"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 	"ojv/internal/view"
 )
@@ -33,9 +38,28 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	reps := flag.Int("reps", 3, "repetitions per measured point (median reported)")
 	workers := flag.Int("workers", 0, "maintenance parallelism (0 = GOMAXPROCS, 1 = serial)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every maintenance run to this file")
+	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the experiments")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
 	flag.Parse()
 	benchReps = *reps
 	benchOpts = view.Options{Parallelism: *workers}
+	if *tracePath != "" {
+		benchTracer = obs.NewTracer()
+		benchOpts.Tracer = benchTracer
+	}
+	if *metrics {
+		benchMetrics = obs.NewRegistry()
+		benchOpts.Metrics = benchMetrics
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ojbench: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -51,7 +75,40 @@ func main() {
 	run("fig5b", func() error { return fig5(*sf, *seed, false) })
 	run("ablations", func() error { return ablations(*sf, *seed) })
 	run("scaling", func() error { return scaling() })
+
+	if benchTracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ojbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := benchTracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ojbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %d maintenance spans to %s (load in chrome://tracing or Perfetto)\n",
+			len(benchTracer.Roots()), *tracePath)
+	}
+	if benchMetrics != nil {
+		fmt.Println("metrics:")
+		if err := benchMetrics.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ojbench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
+
+// benchTracer and benchMetrics are non-nil when -trace / -metrics are set;
+// benchOpts carries them into every view the experiments build.
+var (
+	benchTracer  *obs.Tracer
+	benchMetrics *obs.Registry
+)
 
 var benchReps = 3
 

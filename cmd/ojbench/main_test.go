@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ojv/internal/obs"
+	"ojv/internal/view"
+)
+
+const testSF = 0.002
+
+// withBenchGlobals installs tiny-run bench globals (one rep, tracing and
+// metrics on) and restores the previous values when the test ends.
+func withBenchGlobals(t *testing.T) (*obs.Tracer, *obs.Registry) {
+	t.Helper()
+	prevReps, prevOpts := benchReps, benchOpts
+	prevTracer, prevMetrics := benchTracer, benchMetrics
+	t.Cleanup(func() {
+		benchReps, benchOpts = prevReps, prevOpts
+		benchTracer, benchMetrics = prevTracer, prevMetrics
+	})
+	benchReps = 1
+	benchTracer = obs.NewTracer()
+	benchMetrics = obs.NewRegistry()
+	benchOpts = view.Options{Parallelism: 2, Tracer: benchTracer, Metrics: benchMetrics}
+	return benchTracer, benchMetrics
+}
+
+// TestFig5WithObservation drives the Figure 5(a) experiment at a tiny
+// scale factor with tracing and metrics wired in, then checks the trace
+// exports as valid Chrome trace_event JSON and the metrics snapshot
+// contains the maintenance counters the experiment must have produced.
+func TestFig5WithObservation(t *testing.T) {
+	tracer, metrics := withBenchGlobals(t)
+	if err := fig5(testSF, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(tracer.Roots()) == 0 {
+		t.Fatal("experiment recorded no spans")
+	}
+	for _, r := range tracer.Roots() {
+		if err := r.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	buf.Reset()
+	if err := metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	for _, name := range []string{"view.commits", "view.rows.primary", "exec.rows.scanned"} {
+		if snap[name] == 0 {
+			t.Errorf("metric %s is zero after a Figure 5 run", name)
+		}
+	}
+}
+
+// TestTable1Experiment covers the Table 1 driver end to end at a tiny
+// scale factor.
+func TestTable1Experiment(t *testing.T) {
+	withBenchGlobals(t)
+	if err := table1(testSF, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,12 @@
 // compiled maintenance plan of the view and exits non-zero on the first
 // violation, printing the section-numbered diagnostic.
 //
+// With -stats it materializes the view, executes a traced sample
+// maintenance run (a batch delete of a few unreferenced rows followed by
+// their re-insertion, leaving the data unchanged), and prints the
+// maintenance scripts annotated with the observed per-statement row counts
+// and durations, followed by the recorded span trees.
+//
 // Usage:
 //
 //	ojexplain -view v1 -update T
@@ -17,6 +23,7 @@
 //	ojexplain -view v3 -update lineitem # the experimental view
 //	ojexplain -view ojview -update lineitem
 //	ojexplain -view v1fk -check         # verify all plans, exit 1 on violation
+//	ojexplain -view v1 -stats           # annotate the plan with observed span stats
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 
 	"ojv/internal/algebra"
 	"ojv/internal/fixture"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 	"ojv/internal/tpch"
 	"ojv/internal/view"
@@ -43,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	viewName := fs.String("view", "v1", "v1 | v1fk | v2 | v2fk | v3 | core | ojview")
 	update := fs.String("update", "", "updated base table (defaults to a sensible table per view)")
 	check := fs.Bool("check", false, "verify every compiled maintenance plan against the paper's invariants and exit")
+	stats := fs.Bool("stats", false, "run a traced sample maintenance pass and annotate the plan with observed stats")
+	strategy := fs.String("strategy", "auto", "secondary-delta strategy for -stats: auto | view | base")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,11 +73,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *stats {
+		st, err := parseStrategy(*strategy)
+		if err != nil {
+			fmt.Fprintf(stderr, "ojexplain: %v\n", err)
+			return 2
+		}
+		if err := explainStats(stdout, cat, expr, *viewName, table, st); err != nil {
+			fmt.Fprintf(stderr, "ojexplain: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if err := explain(stdout, cat, expr, *viewName, table); err != nil {
 		fmt.Fprintf(stderr, "ojexplain: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+func parseStrategy(s string) (view.Strategy, error) {
+	switch s {
+	case "auto":
+		return view.StrategyAuto, nil
+	case "view":
+		return view.StrategyFromView, nil
+	case "base":
+		return view.StrategyFromBase, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want auto, view or base)", s)
+	}
 }
 
 func resolveView(name string) (*rel.Catalog, algebra.Expr, string, error) {
@@ -214,6 +249,110 @@ func explain(w io.Writer, cat *rel.Catalog, expr algebra.Expr, name, table strin
 		fmt.Fprintf(w, "\n%s", script)
 	}
 	return nil
+}
+
+// explainStats materializes the view, runs one traced delete of a few
+// unreferenced rows followed by their re-insertion (a net no-op on the
+// data), and prints the maintenance scripts annotated with the observed
+// per-statement stats plus the full recorded span trees. Maintenance runs
+// serially so the trace is deterministic up to durations.
+func explainStats(w io.Writer, cat *rel.Catalog, expr algebra.Expr, name, table string, strategy view.Strategy) error {
+	def, err := view.Define(cat, name, expr, allOutput(cat, expr))
+	if err != nil {
+		return err
+	}
+	tracer := obs.NewTracer()
+	metrics := obs.NewRegistry()
+	m, err := view.NewMaintainer(def, view.Options{
+		Strategy:    strategy,
+		Parallelism: 1,
+		Tracer:      tracer,
+		Metrics:     metrics,
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.Materialize(); err != nil {
+		return err
+	}
+
+	keys := deletableKeys(cat, table, 4)
+	if len(keys) == 0 {
+		return fmt.Errorf("view %s: table %s has no rows deletable without violating a foreign key", name, table)
+	}
+	deleted, err := cat.Delete(table, keys)
+	if err != nil {
+		return err
+	}
+	if _, err := m.OnDelete(table, deleted); err != nil {
+		return err
+	}
+	if err := cat.Insert(table, deleted); err != nil {
+		return err
+	}
+	if _, err := m.OnInsert(table, deleted); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "-- sample run: deleted and re-inserted %d rows of %s\n\n", len(deleted), table)
+	for _, insert := range []bool{false, true} {
+		root := findMaintainRoot(tracer, insert)
+		script, err := m.AnnotatedMaintenanceScript(table, insert, root)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\n", script)
+	}
+	fmt.Fprintf(w, "recorded spans:\n%s", obs.RenderTree(tracer.Roots(), true))
+	return nil
+}
+
+// findMaintainRoot picks the recorded view.maintain root span for the given
+// direction.
+func findMaintainRoot(tracer *obs.Tracer, insert bool) *obs.Span {
+	want := "delete"
+	if insert {
+		want = "insert"
+	}
+	for _, r := range tracer.Roots() {
+		if r.Name() != "view.maintain" {
+			continue
+		}
+		if op, ok := r.AttrStr("op"); ok && op == want {
+			return r
+		}
+	}
+	return nil
+}
+
+// deletableKeys picks up to n keys of existing rows that no foreign key
+// references (scanning the referencing tables), in sorted row order.
+func deletableKeys(cat *rel.Catalog, table string, n int) [][]rel.Value {
+	referenced := make(map[string]bool)
+	for _, ref := range cat.ReferencingKeys(table) {
+		ft := cat.Table(ref.Table)
+		var cols []int
+		for _, c := range ref.FK.Cols {
+			cols = append(cols, ft.Schema().MustIndexOf(ref.Table, c))
+		}
+		for _, row := range ft.Rows() {
+			referenced[rel.EncodeRowCols(row, cols)] = true
+		}
+	}
+	rows := cat.Table(table).Rows()
+	rel.SortRows(rows) // Rows() has map order; keep the key choice deterministic
+	var keys [][]rel.Value
+	for _, row := range rows {
+		kv := row.Project(cat.Table(table).KeyCols())
+		if referenced[rel.EncodeValues(kv...)] {
+			continue
+		}
+		keys = append(keys, kv)
+		if len(keys) == n {
+			break
+		}
+	}
+	return keys
 }
 
 // allOutput projects every column of every referenced table.

@@ -59,3 +59,60 @@ func TestRunCheckInvalidPair(t *testing.T) {
 		t.Errorf("stderr does not name the bad table: %s", errb.String())
 	}
 }
+
+// TestRunStats exercises the -stats path end to end: a sample
+// delete/re-insert run with tracing on, annotated scripts for both
+// directions, and the recorded span forest.
+func TestRunStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-view", "v1", "-stats"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"sample run:",
+		"observed: rows=",
+		"recorded spans:",
+		"view.maintain",
+		"primary.eval",
+		"changeset.commit",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output lacks %q", want)
+		}
+	}
+}
+
+// TestRunStatsFromBase pins the -strategy flag: forcing the from-base
+// secondary delta must surface in the recorded strategy tags.
+func TestRunStatsFromBase(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-view", "v1", "-stats", "-strategy", "base"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "strategy=from-base") {
+		t.Errorf("stats output lacks from-base strategy tag: %s", out.String())
+	}
+}
+
+// TestRunStatsV2 drives -stats on the C-O-L view, whose updated table
+// (O) sits in the middle of the join chain.
+func TestRunStatsV2(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-view", "v2", "-stats"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "recorded spans:") {
+		t.Errorf("aggregate stats output lacks span forest: %s", out.String())
+	}
+}
+
+// TestRunBadStrategy: an unknown -strategy value must fail loudly.
+func TestRunBadStrategy(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-view", "v1", "-stats", "-strategy", "psychic"}, &out, &errb); code == 0 {
+		t.Fatal("bad strategy must exit non-zero")
+	}
+	if !strings.Contains(errb.String(), "psychic") {
+		t.Errorf("stderr does not name the bad strategy: %s", errb.String())
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ojv/internal/obs"
+	"ojv/internal/rel"
+	"ojv/internal/view"
+)
+
+// TestObservedParallelHammer is the regression test for lost metric
+// updates under parallel maintenance: it drives repeated insert/delete
+// cycles of one V3 view with StrategyFromBase and four workers — the
+// configuration where per-term candidate computation and morsel-parallel
+// hash joins hit the registry from several goroutines at once — while a
+// background goroutine continuously snapshots the registry and renders the
+// live span forest. Run under -race this flushes out unsynchronized
+// access; in any mode it asserts that no counter update was lost: the
+// registry's row counters must equal the sums of the per-run MaintStats
+// exactly, and the per-worker morsel tallies must sum to the total.
+func TestObservedParallelHammer(t *testing.T) {
+	tracer := obs.NewTracer()
+	reg := obs.NewRegistry()
+	n := ScaleN(60000, testSF)
+	s, err := NewSetupWith(testSF, 1, MethodOJVBase, n, view.Options{
+		Parallelism: 4,
+		Tracer:      tracer,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := s.TakeHeldOut()
+	if len(batch) == 0 {
+		t.Fatal("no held-out rows")
+	}
+	tracer.Reset()
+	before := reg.Snapshot()
+
+	// Background observer: concurrent snapshots and live tree renders are
+	// exactly what a monitoring endpoint does while maintenance runs.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.Snapshot()
+				_ = obs.RenderTree(tracer.Roots(), true)
+			}
+		}
+	}()
+
+	tab := s.DB.Catalog.Table("lineitem")
+	keys := make([][]rel.Value, len(batch))
+	for i, r := range batch {
+		keys[i] = r.Project(tab.KeyCols())
+	}
+	var wantPrimary, wantSecondary, wantUndo, runs int64
+	const cycles = 4
+	for c := 0; c < cycles; c++ {
+		if err := s.DB.Catalog.Insert("lineitem", batch); err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Target.OnInsertRows("lineitem", batch)
+		if err != nil {
+			t.Fatalf("cycle %d insert: %v", c, err)
+		}
+		wantPrimary += int64(st.PrimaryRows)
+		wantSecondary += int64(st.SecondaryRows)
+		wantUndo += int64(st.UndoRecords)
+		runs++
+		deleted, err := s.DB.Catalog.Delete("lineitem", keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err = s.Target.OnDeleteRows("lineitem", deleted)
+		if err != nil {
+			t.Fatalf("cycle %d delete: %v", c, err)
+		}
+		wantPrimary += int64(st.PrimaryRows)
+		wantSecondary += int64(st.SecondaryRows)
+		wantUndo += int64(st.UndoRecords)
+		runs++
+	}
+	close(stop)
+	wg.Wait()
+
+	after := reg.Snapshot()
+	delta := func(name string) int64 { return after[name] - before[name] }
+	if got := delta("view.rows.primary"); got != wantPrimary {
+		t.Errorf("view.rows.primary = %d, stats sum to %d", got, wantPrimary)
+	}
+	if got := delta("view.rows.secondary"); got != wantSecondary {
+		t.Errorf("view.rows.secondary = %d, stats sum to %d", got, wantSecondary)
+	}
+	if got := delta("view.undo.records"); got != wantUndo {
+		t.Errorf("view.undo.records = %d, stats sum to %d", got, wantUndo)
+	}
+	if got := delta("view.commits"); got != runs {
+		t.Errorf("view.commits = %d, want %d", got, runs)
+	}
+	if got := delta("view.rollbacks"); got != 0 {
+		t.Errorf("view.rollbacks = %d on a fault-free hammer", got)
+	}
+
+	// Per-worker morsel tallies must sum to the published total — a lost
+	// update in the partitioned hash join would break this identity.
+	var workerSum int64
+	for name, v := range after {
+		if strings.HasPrefix(name, "exec.morsels.worker.") {
+			workerSum += v - before[name]
+		}
+	}
+	if total := delta("exec.morsels.total"); workerSum != total {
+		t.Errorf("worker morsel counts sum to %d, total says %d", workerSum, total)
+	}
+
+	// Every recorded span tree must validate even though children were
+	// attached from parallel workers.
+	roots := tracer.Roots()
+	if len(roots) == 0 {
+		t.Fatal("hammer recorded no spans")
+	}
+	maintains := 0
+	for _, r := range roots {
+		if err := r.Validate(); err != nil {
+			t.Error(err)
+		}
+		if r.Name() == "view.maintain" {
+			maintains++
+			if p, _ := r.AttrInt("parallelism"); p != 4 {
+				t.Errorf("maintain root records parallelism=%d, want 4", p)
+			}
+		}
+	}
+	if maintains != int(runs) {
+		t.Errorf("recorded %d maintain roots, want %d", maintains, runs)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"ojv/internal/algebra"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 )
 
@@ -49,6 +50,12 @@ type Context struct {
 	// Results are deterministic — identical rows in identical order — at
 	// every setting.
 	Parallelism int
+	// Metrics, when non-nil, receives executor counters (rows scanned, hash
+	// build/probe rows, λ and condense applications, per-worker morsel
+	// counts). Counters are incremented once per operator node with batch
+	// totals, never per row, so the enabled overhead stays small; a nil
+	// registry costs one pointer check per node.
+	Metrics *obs.Registry
 }
 
 // TableSchema implements algebra.SchemaResolver. RelRef bindings shadow
@@ -69,17 +76,24 @@ func Eval(ctx *Context, e algebra.Expr) (Relation, error) {
 		if t == nil {
 			return Relation{}, fmt.Errorf("exec: unknown table %s", n.Name)
 		}
-		return Relation{Schema: t.Schema(), Rows: t.Rows()}, nil
+		rows := t.Rows()
+		ctx.Metrics.Add("exec.rows.scanned", int64(len(rows)))
+		return Relation{Schema: t.Schema(), Rows: rows}, nil
 
 	case *algebra.DeltaRef:
 		t := ctx.Catalog.Table(n.Name)
 		if t == nil {
 			return Relation{}, fmt.Errorf("exec: unknown table %s", n.Name)
 		}
+		ctx.Metrics.Add("exec.rows.scanned", int64(len(ctx.Deltas[n.Name])))
 		return Relation{Schema: t.Schema(), Rows: ctx.Deltas[n.Name]}, nil
 
 	case *algebra.OldTableRef:
-		return evalOldTable(ctx, n.Name)
+		r, err := evalOldTable(ctx, n.Name)
+		if err == nil {
+			ctx.Metrics.Add("exec.rows.scanned", int64(len(r.Rows)))
+		}
+		return r, err
 
 	case *algebra.RelRef:
 		r, ok := ctx.Rels[n.Name]
@@ -135,6 +149,7 @@ func Eval(ctx *Context, e algebra.Expr) (Relation, error) {
 		if err != nil {
 			return Relation{}, err
 		}
+		ctx.Metrics.Add("exec.condense.rows", int64(len(u.Rows)))
 		return Relation{Schema: u.Schema, Rows: removeSubsumed(u.Rows)}, nil
 
 	case *algebra.RemoveSubsumed:
@@ -142,6 +157,7 @@ func Eval(ctx *Context, e algebra.Expr) (Relation, error) {
 		if err != nil {
 			return Relation{}, err
 		}
+		ctx.Metrics.Add("exec.condense.rows", int64(len(in.Rows)))
 		return Relation{Schema: in.Schema, Rows: removeSubsumed(in.Rows)}, nil
 
 	case *algebra.Dedup:
@@ -149,13 +165,22 @@ func Eval(ctx *Context, e algebra.Expr) (Relation, error) {
 		if err != nil {
 			return Relation{}, err
 		}
+		ctx.Metrics.Add("exec.condense.rows", int64(len(in.Rows)))
 		return Relation{Schema: in.Schema, Rows: dedup(in.Rows)}, nil
 
 	case *algebra.NullIf:
-		return evalNullIf(ctx, n)
+		r, err := evalNullIf(ctx, n)
+		if err == nil {
+			ctx.Metrics.Add("exec.lambda.rows", int64(len(r.Rows)))
+		}
+		return r, err
 
 	case *algebra.Condense:
-		return evalCondense(ctx, n)
+		r, err := evalCondense(ctx, n)
+		if err == nil {
+			ctx.Metrics.Add("exec.condense.rows", int64(len(r.Rows)))
+		}
+		return r, err
 
 	case *algebra.Pad:
 		in, err := Eval(ctx, n.Input)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ojv/internal/algebra"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 )
 
@@ -38,6 +39,7 @@ func evalJoin(ctx *Context, n *algebra.Join) (Relation, error) {
 			if err != nil {
 				return Relation{}, err
 			}
+			ctx.Metrics.Add("exec.join.index.probe_rows", int64(len(left.Rows)))
 			return joinWithProbe(n.Kind, left, rightSchema, concat, pred, probe)
 		}
 	}
@@ -50,8 +52,9 @@ func evalJoin(ctx *Context, n *algebra.Join) (Relation, error) {
 		return Relation{}, err
 	}
 	if len(pairs) > 0 {
-		return hashJoin(ctx.workers(), n.Kind, left, right, concat, pred, pairs)
+		return hashJoin(ctx.workers(), ctx.Metrics, n.Kind, left, right, concat, pred, pairs)
 	}
+	ctx.Metrics.Add("exec.join.nested.probe_rows", int64(len(left.Rows)))
 	return nestedLoopJoin(n.Kind, left, right, concat, pred)
 }
 
@@ -235,7 +238,7 @@ func JoinRelations(kind algebra.JoinKind, left, right Relation, pred algebra.Pre
 	}
 	pairs, _ := algebra.EquiPairs(pred, leftTabs, rightTabs)
 	if len(pairs) > 0 {
-		return hashJoin(1, kind, left, right, concat, f, pairs)
+		return hashJoin(1, nil, kind, left, right, concat, f, pairs)
 	}
 	return nestedLoopJoin(kind, left, right, concat, f)
 }
@@ -320,15 +323,17 @@ func nullExtendLeft(r rel.Row, nLeft int) rel.Row {
 // hash collisions only add candidates the join predicate filters out.
 // With workers > 1 and large enough inputs the join switches to the
 // partition-parallel path, which produces an identical result.
-func hashJoin(workers int, kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, pairs [][2]algebra.ColRef) (Relation, error) {
+func hashJoin(workers int, metrics *obs.Registry, kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, pairs [][2]algebra.ColRef) (Relation, error) {
 	leftCols := make([]int, len(pairs))
 	rightCols := make([]int, len(pairs))
 	for i, p := range pairs {
 		leftCols[i] = left.Schema.MustIndexOf(p[0].Table, p[0].Column)
 		rightCols[i] = right.Schema.MustIndexOf(p[1].Table, p[1].Column)
 	}
+	metrics.Add("exec.join.hash.build_rows", int64(len(right.Rows)))
+	metrics.Add("exec.join.hash.probe_rows", int64(len(left.Rows)))
 	if workers > 1 && len(left.Rows)+len(right.Rows) >= partitionedJoinMinRows {
-		return partitionedHashJoin(workers, kind, left, right, concat, pred, leftCols, rightCols)
+		return partitionedHashJoin(workers, metrics, kind, left, right, concat, pred, leftCols, rightCols)
 	}
 	table := make(map[uint64][]int, len(right.Rows))
 	var buf []byte

@@ -74,7 +74,7 @@ func TestHashJoinParallelEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{1, 2, 3, 8} {
-				got, err := hashJoin(workers, kind, left, right, concat, pred, pairs)
+				got, err := hashJoin(workers, nil, kind, left, right, concat, pred, pairs)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,7 +1,10 @@
 package exec
 
 import (
+	"fmt"
+
 	"ojv/internal/algebra"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 )
 
@@ -33,7 +36,7 @@ const partitionedJoinMinRows = 1024
 
 // partitionedHashJoin runs the morsel-parallel hash join. workers must be
 // >= 2 (callers fall back to the serial hashJoin otherwise).
-func partitionedHashJoin(workers int, kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, leftCols, rightCols []int) (Relation, error) {
+func partitionedHashJoin(workers int, metrics *obs.Registry, kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, leftCols, rightCols []int) (Relation, error) {
 	nPart := uint64(workers)
 
 	// Phase 1: prehash the build side in parallel morsels. part[i] < 0
@@ -81,7 +84,17 @@ func partitionedHashJoin(workers int, kind algebra.JoinKind, left, right Relatio
 	}
 	nchunks := (len(left.Rows) + probeMorsel - 1) / probeMorsel
 	chunks := make([][]rel.Row, nchunks)
+	// Per-worker morsel tallies: each worker owns its slot during the probe
+	// phase and the totals publish to the registry once afterwards, so
+	// enabling metrics adds no synchronization to the probe loop.
+	var workerMorsels []int64
+	if metrics != nil {
+		workerMorsels = make([]int64, workers)
+	}
 	forChunks(workers, len(left.Rows), probeMorsel, func(w, ci, lo, hi int) {
+		if workerMorsels != nil {
+			workerMorsels[w]++
+		}
 		var buf []byte
 		rowBuf := make(rel.Row, len(left.Schema)+len(right.Schema))
 		var matchedRight []bool
@@ -134,6 +147,12 @@ func partitionedHashJoin(workers int, kind algebra.JoinKind, left, right Relatio
 		}
 		chunks[ci] = out
 	})
+	for w, n := range workerMorsels {
+		if n > 0 {
+			metrics.Add(fmt.Sprintf("exec.morsels.worker.%d", w), n)
+			metrics.Add("exec.morsels.total", n)
+		}
+	}
 
 	// Phase 4: concatenate chunks in morsel order, then emit unmatched
 	// right rows for right/full outer joins.

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one Chrome trace_event entry. We emit only "X" (complete)
+// events: one per span, with microsecond start offsets and durations, so
+// the file loads directly in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorded span forest in Chrome trace_event
+// JSON format. Timestamps are offsets from the tracer's epoch in
+// microseconds. Nested spans render as nested slices on the same track;
+// spans recorded from concurrent workers may overlap, which the format
+// permits for "X" events.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	if t != nil {
+		t.mu.Lock()
+		epoch := t.epoch
+		roots := append([]*Span(nil), t.roots...)
+		t.mu.Unlock()
+		for _, r := range roots {
+			events = appendChromeEvents(events, r, epoch)
+		}
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+func appendChromeEvents(events []chromeEvent, s *Span, epoch time.Time) []chromeEvent {
+	if s == nil {
+		return events
+	}
+	s.mu.Lock()
+	start := s.start
+	dur := s.dur
+	name := s.name
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	ev := chromeEvent{
+		Name: name,
+		Cat:  "ojv",
+		Ph:   "X",
+		Ts:   float64(start.Sub(epoch).Nanoseconds()) / 1e3,
+		Dur:  float64(dur.Nanoseconds()) / 1e3,
+		Pid:  1,
+		Tid:  1,
+	}
+	if len(attrs) > 0 {
+		ev.Args = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			ev.Args[a.Key] = a.Value()
+		}
+	}
+	events = append(events, ev)
+	for _, c := range children {
+		events = appendChromeEvents(events, c, epoch)
+	}
+	return events
+}

@@ -6,6 +6,7 @@ import (
 
 	"ojv/internal/algebra"
 	"ojv/internal/exec"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 )
 
@@ -247,17 +248,25 @@ func (a *AggMaterialized) Rows() []rel.Row {
 // folded in with the update's sign, then the secondary delta (computed from
 // base tables — an aggregated view cannot serve term extraction, Section
 // 5.3) is folded with the opposite sign.
-func (m *Maintainer) applyAgg(cs *Changeset, ctx *exec.Context, plan *tablePlan, primary exec.Relation, isInsert bool, stats *MaintStats) error {
+func (m *Maintainer) applyAgg(cs *Changeset, span *obs.Span, ctx *exec.Context, plan *tablePlan, primary exec.Relation, isInsert bool, stats *MaintStats) error {
 	sign := int64(1)
 	if !isInsert {
 		sign = -1
 	}
+	applySpan := span.Child("primary.apply").SetInt("rows", int64(len(primary.Rows)))
 	if len(primary.Rows) > 0 {
 		if err := m.agg.fold(cs, "agg-primary-fold", primary.Rows, primary.Schema, sign); err != nil {
+			applySpan.End()
 			return err
 		}
 	}
-	cands, err := m.secondaryCandidatesAll(ctx, plan.indirect, primary, isInsert)
+	applySpan.End()
+	if len(plan.indirect) == 0 {
+		return nil
+	}
+	sec := span.Child("secondary").SetStr("source", "base")
+	defer sec.End()
+	cands, err := m.secondaryCandidatesAll(ctx, sec, plan.indirect, primary, isInsert)
 	if err != nil {
 		return err
 	}
@@ -266,11 +275,16 @@ func (m *Maintainer) applyAgg(cs *Changeset, ctx *exec.Context, plan *tablePlan,
 		if len(cand.Rows) == 0 {
 			continue
 		}
-		if err := m.agg.fold(cs, "agg-secondary-fold", cand.Rows, cand.Schema, -sign); err != nil {
+		ts := sec.Child("term.apply").SetStr("term", ip.term.SourceKey()).
+			SetInt("rows", int64(len(cand.Rows)))
+		err := m.agg.fold(cs, "agg-secondary-fold", cand.Rows, cand.Schema, -sign)
+		ts.End()
+		if err != nil {
 			return err
 		}
 		stats.SecondaryByTerm[ip.term.SourceKey()] = len(cand.Rows)
 		stats.SecondaryRows += len(cand.Rows)
 	}
+	sec.SetInt("rows", int64(stats.SecondaryRows))
 	return nil
 }

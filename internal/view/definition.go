@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"ojv/internal/algebra"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 )
 
@@ -73,6 +74,14 @@ type Options struct {
 	// for deterministic fault-injection tests of the atomic-apply protocol
 	// and must be nil in production use.
 	FailPoint func(site string) error
+	// Tracer, when non-nil, records one nested span tree per maintenance run
+	// (see the obs package for the span taxonomy). Nil disables tracing; the
+	// maintenance path then pays only a nil check per span site.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives executor- and maintenance-level
+	// counters (rows scanned, hash probes, undo records, per-worker morsel
+	// counts). Nil disables metrics collection.
+	Metrics *obs.Registry
 }
 
 // AggSpec is the optional group-by on top of an SPOJ view (Section 3.3).

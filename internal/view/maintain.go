@@ -9,6 +9,7 @@ import (
 
 	"ojv/internal/algebra"
 	"ojv/internal/exec"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 )
 
@@ -424,45 +425,97 @@ func (m *Maintainer) atomically(f func(*Changeset) (*MaintStats, error)) (*Maint
 	cs := m.Begin()
 	stats, err := f(cs)
 	if err != nil {
-		if rbErr := cs.Rollback(); rbErr != nil {
+		if rbErr := m.RollbackStaged(cs); rbErr != nil {
 			return nil, fmt.Errorf("%v; additionally: %w", err, rbErr)
 		}
 		return nil, err
 	}
-	stats.UndoRecords = cs.Len()
-	cs.Commit()
-	stats.Committed = true
+	m.CommitStaged(cs, stats)
 	return stats, nil
+}
+
+// CommitStaged commits a staged changeset, completing stats with the undo
+// count and commit flag. Commit gets its own root span (attrs: view,
+// undo_records) so trace consumers can separate maintenance work from
+// transaction bookkeeping; the undo-record and commit counters publish to
+// the registry here. Used by atomically and by the Database, which commits
+// several views' staged changesets together.
+func (m *Maintainer) CommitStaged(cs *Changeset, stats *MaintStats) {
+	stats.UndoRecords = cs.Len()
+	commit := m.opts.Tracer.StartSpan("changeset.commit").
+		SetStr("view", m.def.Name).SetInt("undo_records", int64(stats.UndoRecords))
+	cs.Commit()
+	commit.End()
+	m.opts.Metrics.Add("view.undo.records", int64(stats.UndoRecords))
+	m.opts.Metrics.Add("view.commits", 1)
+	stats.Committed = true
+}
+
+// RollbackStaged rolls a staged changeset back under a root rollback span
+// (attrs: view, undo_records) and counts the rollback in the registry.
+func (m *Maintainer) RollbackStaged(cs *Changeset) error {
+	rb := m.opts.Tracer.StartSpan("changeset.rollback").
+		SetStr("view", m.def.Name).SetInt("undo_records", int64(cs.Len()))
+	err := cs.Rollback()
+	rb.End()
+	m.opts.Metrics.Add("view.rollbacks", 1)
+	return err
 }
 
 // ApplyInsert stages the maintenance for an insert batch into cs without
 // committing; the caller owns Commit/Rollback. The Database uses this to
 // make one base-table update atomic across every registered view.
 func (m *Maintainer) ApplyInsert(cs *Changeset, table string, delta []rel.Row) (*MaintStats, error) {
-	return m.apply(cs, table, delta, true, true)
+	root := m.startMaintSpan("insert", table)
+	defer root.End()
+	return m.apply(cs, root, table, delta, true, true)
 }
 
 // ApplyDelete stages the maintenance for a delete batch into cs without
 // committing.
 func (m *Maintainer) ApplyDelete(cs *Changeset, table string, delta []rel.Row) (*MaintStats, error) {
-	return m.apply(cs, table, delta, false, true)
+	root := m.startMaintSpan("delete", table)
+	defer root.End()
+	return m.apply(cs, root, table, delta, false, true)
 }
 
 // ApplyModify stages both passes of a decomposed modify into cs without
 // committing, merging the two passes' statistics.
 func (m *Maintainer) ApplyModify(cs *Changeset, table string, deleted, inserted []rel.Row) (*MaintStats, error) {
-	s1, err := m.apply(cs, table, deleted, false, false)
+	root := m.startMaintSpan("modify", table)
+	defer root.End()
+	del := root.Child("pass.delete")
+	s1, err := m.apply(cs, del, table, deleted, false, false)
+	del.End()
 	if err != nil {
 		return nil, err
 	}
 	if err := cs.fail("modify-between-passes"); err != nil {
 		return nil, err
 	}
-	s2, err := m.apply(cs, table, inserted, true, false)
+	ins := root.Child("pass.insert")
+	s2, err := m.apply(cs, ins, table, inserted, true, false)
+	ins.End()
 	if err != nil {
 		return nil, err
 	}
 	return mergeStats(s1, s2), nil
+}
+
+// startMaintSpan opens the root span of one maintenance run. Returns nil
+// (a no-op span) when tracing is disabled.
+func (m *Maintainer) startMaintSpan(op, table string) *obs.Span {
+	root := m.opts.Tracer.StartSpan("view.maintain")
+	if root == nil {
+		return nil
+	}
+	strategy := "from-view"
+	if m.opts.Strategy == StrategyFromBase {
+		strategy = "from-base"
+	}
+	return root.SetStr("view", m.def.Name).SetStr("table", table).
+		SetStr("op", op).SetStr("strategy", strategy).
+		SetInt("parallelism", int64(m.workers()))
 }
 
 // mergeStats combines the delete-pass and insert-pass statistics of a
@@ -489,11 +542,21 @@ func mergeStats(s1, s2 *MaintStats) *MaintStats {
 	return &out
 }
 
-func (m *Maintainer) apply(cs *Changeset, table string, delta []rel.Row, isInsert, fkOK bool) (*MaintStats, error) {
+func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []rel.Row, isInsert, fkOK bool) (*MaintStats, error) {
 	stats := &MaintStats{Table: table, Insert: isInsert, SecondaryByTerm: make(map[string]int)}
+	// Publish the run's row accounting to the registry on every exit path
+	// (including aborted runs: the invariant tests snapshot per attempt).
+	defer func() {
+		m.opts.Metrics.Add("view.rows.primary", int64(stats.PrimaryRows))
+		m.opts.Metrics.Add("view.rows.secondary", int64(stats.SecondaryRows))
+	}()
 	if len(delta) == 0 {
 		return stats, nil
 	}
+	// The plan span also covers the cheap preparatory checks, so the phase
+	// spans tile the run as tightly as possible (the golden acceptance is
+	// that phase durations sum to within a few percent of the root).
+	planSpan := span.Child("plan")
 	referenced := false
 	for _, t := range m.def.tables {
 		if t == table {
@@ -501,42 +564,53 @@ func (m *Maintainer) apply(cs *Changeset, table string, delta []rel.Row, isInser
 		}
 	}
 	if !referenced {
+		planSpan.End()
 		return stats, nil
 	}
 	plan, err := m.Plan(table, fkOK)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	stats.DirectTerms = len(plan.graph.DirectTerms())
 	stats.IndirectTerms = len(plan.indirect)
 
+	// The eval span covers execution-context construction too.
+	evalSpan := span.Child("primary.eval")
 	ctx := &exec.Context{
 		Catalog:       m.def.cat,
 		Deltas:        map[string][]rel.Row{table: delta},
 		DeltaIsInsert: isInsert,
 		Parallelism:   m.opts.Parallelism,
+		Metrics:       m.opts.Metrics,
 	}
 	var primary exec.Relation
 	if plan.primary != nil {
 		primary, err = exec.Eval(ctx, plan.primary)
 		if err != nil {
+			evalSpan.End()
 			return nil, err
 		}
 	}
+	evalSpan.SetInt("rows", int64(len(primary.Rows)))
+	evalSpan.End()
 	stats.PrimaryRows = len(primary.Rows)
 
 	if m.agg != nil {
-		return stats, m.applyAgg(cs, ctx, plan, primary, isInsert, stats)
+		return stats, m.applyAgg(cs, span, ctx, plan, primary, isInsert, stats)
 	}
 
 	// Step 1: apply the primary delta to the view.
+	applySpan := span.Child("primary.apply")
 	projected, err := projectToOutput(primary, m.def, m.mv.schema)
 	if err != nil {
+		applySpan.End()
 		return nil, err
 	}
 	if isInsert {
 		for _, row := range projected {
 			if err := cs.insertRow("primary-insert", row); err != nil {
+				applySpan.End()
 				return nil, err
 			}
 		}
@@ -544,25 +618,32 @@ func (m *Maintainer) apply(cs *Changeset, table string, delta []rel.Row, isInser
 		for _, row := range projected {
 			_, ok, err := cs.deleteKey("primary-delete", m.mv.viewKey(row))
 			if err != nil {
+				applySpan.End()
 				return nil, err
 			}
 			if !ok {
+				applySpan.End()
 				return nil, fmt.Errorf("view %s: primary delta row not found for deletion: %s", m.def.Name, row)
 			}
 		}
 	}
+	applySpan.SetInt("rows", int64(len(projected)))
+	applySpan.End()
 
 	// Step 2: compute and apply the secondary delta.
 	if len(plan.indirect) == 0 {
 		return stats, nil
 	}
 	useView := m.opts.Strategy != StrategyFromBase
+	sec := span.Child("secondary")
+	defer sec.End()
 	if useView && isInsert {
 		// Insertion case via the view: the cleanups for all indirect terms
 		// are combined into a single pass over the primary delta — the
 		// direction the paper's future-work section sketches (combining the
 		// ΔV^I computations for different terms by reusing partial results;
 		// here the shared work is the per-row term classification).
+		sec.SetStr("source", "view-combined")
 		counts, err := m.secondaryInsertCombined(cs, plan.indirect, projected)
 		if err != nil {
 			return nil, err
@@ -571,38 +652,49 @@ func (m *Maintainer) apply(cs *Changeset, table string, delta []rel.Row, isInser
 			stats.SecondaryByTerm[key] = n
 			stats.SecondaryRows += n
 		}
+		sec.SetInt("rows", int64(stats.SecondaryRows))
 		return stats, nil
 	}
 	if useView {
 		// Deletion case via the view: terms are processed strictly in plan
 		// order (larger terms first) because one term's new orphan changes a
 		// later term's containment check — see buildPlan.
+		sec.SetStr("source", "view")
 		for _, ip := range plan.indirect {
+			ts := sec.Child("term").SetStr("term", ip.term.SourceKey())
 			n, err := m.secondaryFromView(cs, ip, primary, projected, isInsert)
+			ts.SetInt("rows", int64(n))
+			ts.End()
 			if err != nil {
 				return nil, err
 			}
 			stats.SecondaryByTerm[ip.term.SourceKey()] = n
 			stats.SecondaryRows += n
 		}
+		sec.SetInt("rows", int64(stats.SecondaryRows))
 		return stats, nil
 	}
 	// From-base cleanup: each term's candidate computation reads only the
 	// catalog and the primary delta — by Theorem 1 the net contributions of
 	// different terms are independent — so the computations run in parallel.
 	// View mutations stay serial, in plan order.
-	cands, err := m.secondaryCandidatesAll(ctx, plan.indirect, primary, isInsert)
+	sec.SetStr("source", "base")
+	cands, err := m.secondaryCandidatesAll(ctx, sec, plan.indirect, primary, isInsert)
 	if err != nil {
 		return nil, err
 	}
 	for i, ip := range plan.indirect {
+		ts := sec.Child("term.apply").SetStr("term", ip.term.SourceKey())
 		n, err := m.applySecondaryFromBase(cs, ip, cands[i], isInsert)
+		ts.SetInt("rows", int64(n))
+		ts.End()
 		if err != nil {
 			return nil, err
 		}
 		stats.SecondaryByTerm[ip.term.SourceKey()] = n
 		stats.SecondaryRows += n
 	}
+	sec.SetInt("rows", int64(stats.SecondaryRows))
 	return stats, nil
 }
 
@@ -617,12 +709,16 @@ func (m *Maintainer) workers() int {
 
 // secondaryCandidatesAll computes every indirect term's surviving ΔDi
 // candidates, in parallel across terms when parallelism allows. The result
-// is indexed like plans; the first error in term order wins.
-func (m *Maintainer) secondaryCandidatesAll(ctx *exec.Context, plans []*indirectPlan, primary exec.Relation, isInsert bool) ([]exec.Relation, error) {
+// is indexed like plans; the first error in term order wins. Per-term
+// candidate spans attach to sec concurrently (Span.Child is mutex-guarded).
+func (m *Maintainer) secondaryCandidatesAll(ctx *exec.Context, sec *obs.Span, plans []*indirectPlan, primary exec.Relation, isInsert bool) ([]exec.Relation, error) {
 	cands := make([]exec.Relation, len(plans))
 	errs := make([]error, len(plans))
 	parallelEach(m.workers(), len(plans), func(i int) {
+		ts := sec.Child("term.candidates").SetStr("term", plans[i].term.SourceKey())
 		cands[i], errs[i] = m.secondaryCandidatesFromBase(ctx, plans[i], primary, isInsert)
+		ts.SetInt("rows", int64(len(cands[i].Rows)))
+		ts.End()
 	})
 	for _, err := range errs {
 		if err != nil {

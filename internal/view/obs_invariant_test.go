@@ -1,0 +1,105 @@
+package view
+
+import (
+	"testing"
+
+	"ojv/internal/obs"
+)
+
+// TestObservedFaultMatrix re-runs the whole fault-injection matrix with the
+// observability layer enabled and checks the accounting invariants at every
+// kill site:
+//
+//   - every recorded span tree validates even when the run aborted mid-way
+//     (spans end before errors propagate, so a fault never leaks an
+//     unfinished span);
+//   - a faulted attempt moves view.rollbacks by exactly one and never
+//     touches view.commits or view.undo.records;
+//   - a committed attempt moves view.commits by one and the row/undo
+//     counters by exactly the amounts its MaintStats report.
+//
+// Metrics are snapshotted per attempt because the registry deliberately
+// accumulates the row counters of aborted attempts too (the work was done,
+// then undone — both halves are observable).
+func TestObservedFaultMatrix(t *testing.T) {
+	for _, sc := range faultScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			faults := 0
+			for failAt := 1; ; failAt++ {
+				if failAt > 2000 {
+					t.Fatal("fault matrix did not terminate")
+				}
+				tracer := obs.NewTracer()
+				reg := obs.NewRegistry()
+				inj := &faultInjector{failAt: failAt}
+				m, op := sc.build(t, Options{FailPoint: inj.hook, Tracer: tracer, Metrics: reg})
+				tracer.Reset() // materialization happens before the run under test
+				before := reg.Snapshot()
+				stats, err := op()
+				after := reg.Snapshot()
+				delta := func(name string) int64 { return after[name] - before[name] }
+
+				var rollbackRoots, commitRoots int
+				for _, r := range tracer.Roots() {
+					if vErr := r.Validate(); vErr != nil {
+						t.Fatalf("failAt=%d: span tree invalid after %s: %v", failAt, r.Name(), vErr)
+					}
+					switch r.Name() {
+					case "changeset.rollback":
+						rollbackRoots++
+					case "changeset.commit":
+						commitRoots++
+					}
+				}
+
+				if inj.site == "" {
+					// Matrix exhausted: this run committed.
+					if err != nil {
+						t.Fatalf("failAt=%d: unfaulted run failed: %v", failAt, err)
+					}
+					if got, want := delta("view.commits"), int64(1); got != want {
+						t.Errorf("view.commits moved by %d, want %d", got, want)
+					}
+					if got := delta("view.rollbacks"); got != 0 {
+						t.Errorf("view.rollbacks moved by %d on a committed run", got)
+					}
+					if got, want := delta("view.undo.records"), int64(stats.UndoRecords); got != want {
+						t.Errorf("view.undo.records moved by %d, stats say %d", got, want)
+					}
+					if got, want := delta("view.rows.primary"), int64(stats.PrimaryRows); got != want {
+						t.Errorf("view.rows.primary moved by %d, stats say %d", got, want)
+					}
+					if got, want := delta("view.rows.secondary"), int64(stats.SecondaryRows); got != want {
+						t.Errorf("view.rows.secondary moved by %d, stats say %d", got, want)
+					}
+					if commitRoots != 1 || rollbackRoots != 0 {
+						t.Errorf("committed run recorded %d commit / %d rollback roots, want 1/0", commitRoots, rollbackRoots)
+					}
+					break
+				}
+
+				faults++
+				if err == nil {
+					t.Fatalf("failAt=%d: fault at %s did not surface", failAt, inj.site)
+				}
+				if got := delta("view.rollbacks"); got != 1 {
+					t.Errorf("failAt=%d: view.rollbacks moved by %d on a faulted run, want 1", failAt, got)
+				}
+				if got := delta("view.commits"); got != 0 {
+					t.Errorf("failAt=%d: view.commits moved by %d on a faulted run", failAt, got)
+				}
+				if got := delta("view.undo.records"); got != 0 {
+					t.Errorf("failAt=%d: view.undo.records moved by %d on a faulted run", failAt, got)
+				}
+				if rollbackRoots != 1 || commitRoots != 0 {
+					t.Errorf("failAt=%d: faulted run recorded %d rollback / %d commit roots, want 1/0", failAt, rollbackRoots, commitRoots)
+				}
+				_ = m
+			}
+			if faults == 0 {
+				t.Fatal("no faults fired")
+			}
+		})
+	}
+}

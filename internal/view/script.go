@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"ojv/internal/algebra"
+	"ojv/internal/obs"
 )
 
 // MaintenanceScript renders the maintenance plan for updates to one table
@@ -15,6 +17,20 @@ import (
 // script is explanatory output — execution uses the compiled plan — but it
 // mirrors the executed steps one for one.
 func (m *Maintainer) MaintenanceScript(table string, isInsert bool) (string, error) {
+	return m.script(table, isInsert, nil)
+}
+
+// AnnotatedMaintenanceScript renders the same script annotated with
+// observed statistics from a recorded maintenance run: root must be the
+// view.maintain span of a run with the same table and direction, and each
+// statement gets an "observed: rows=… time=…" comment from the matching
+// span. Statements without a matching span (e.g. per-term statements of the
+// combined insertion cleanup, which executes as one pass) stay bare.
+func (m *Maintainer) AnnotatedMaintenanceScript(table string, isInsert bool, root *obs.Span) (string, error) {
+	return m.script(table, isInsert, root)
+}
+
+func (m *Maintainer) script(table string, isInsert bool, root *obs.Span) (string, error) {
 	plan, err := m.Plan(table, true)
 	if err != nil {
 		return "", err
@@ -34,6 +50,7 @@ func (m *Maintainer) MaintenanceScript(table string, isInsert bool) (string, err
 	if plan.primary != nil {
 		fmt.Fprintf(&b, "-- Q%d: compute primary delta ΔV^D\n", step)
 		fmt.Fprintf(&b, "select * into #delta from %s;\n", renderFrom(plan.primary))
+		annotate(&b, root.Find("primary.eval"))
 		step++
 		fmt.Fprintf(&b, "-- Q%d: apply primary delta\n", step)
 		if isInsert {
@@ -41,12 +58,52 @@ func (m *Maintainer) MaintenanceScript(table string, isInsert bool) (string, err
 		} else {
 			fmt.Fprintf(&b, "delete from %s where <view key> in (select <view key> from #delta);\n", m.def.Name)
 		}
+		annotate(&b, root.Find("primary.apply"))
 		step++
 	}
 	for _, ip := range plan.indirect {
 		step = m.renderIndirect(&b, step, ip, isInsert)
+		annotate(&b, findTermSpan(root, ip.term.SourceKey()))
+	}
+	if sec := root.Find("secondary"); sec != nil {
+		if src, _ := sec.AttrStr("source"); src == "view-combined" {
+			fmt.Fprintf(&b, "-- all term updates executed as one combined pass\n")
+			annotate(&b, sec)
+		}
 	}
 	return b.String(), nil
+}
+
+// annotate appends the observed row count and duration of one span as a
+// comment. A nil span (no recorded run, or no matching phase) emits nothing.
+func annotate(b *strings.Builder, s *obs.Span) {
+	if s == nil || !s.Ended() {
+		return
+	}
+	if rows, ok := s.AttrInt("rows"); ok {
+		fmt.Fprintf(b, "--   observed: rows=%d time=%s\n", rows, s.Duration().Round(time.Microsecond))
+		return
+	}
+	fmt.Fprintf(b, "--   observed: time=%s\n", s.Duration().Round(time.Microsecond))
+}
+
+// findTermSpan locates the secondary-cleanup span for one term in a
+// recorded run (named "term" on the from-view path, "term.apply" on the
+// from-base path).
+func findTermSpan(root *obs.Span, key string) *obs.Span {
+	sec := root.Find("secondary")
+	if sec == nil {
+		return nil
+	}
+	for _, c := range sec.Children() {
+		if c.Name() != "term" && c.Name() != "term.apply" {
+			continue
+		}
+		if k, ok := c.AttrStr("term"); ok && k == key {
+			return c
+		}
+	}
+	return nil
 }
 
 // renderIndirect emits the orphan statement for one indirectly affected

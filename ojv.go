@@ -31,6 +31,7 @@ import (
 
 	"ojv/internal/algebra"
 	"ojv/internal/exec"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 	"ojv/internal/view"
 )
@@ -64,6 +65,14 @@ type (
 	Aggregate = algebra.Aggregate
 	// Strategy selects how the secondary delta is computed (Section 5).
 	Strategy = view.Strategy
+	// Tracer records nested maintenance spans when set on Options.Tracer;
+	// export the recorded forest with WriteChromeTrace.
+	Tracer = obs.Tracer
+	// Span is one timed phase of a maintenance run.
+	Span = obs.Span
+	// Metrics holds named atomic counters and histograms when set on
+	// Options.Metrics; export a snapshot with WriteJSON.
+	Metrics = obs.Registry
 )
 
 // Secondary-delta strategies (Sections 5.2 and 5.3).
@@ -93,6 +102,14 @@ func Bool(v bool) Value { return rel.Bool(v) }
 
 // MustDate parses a YYYY-MM-DD date, panicking on malformed input.
 func MustDate(s string) Value { return rel.MustDate(s) }
+
+// NewTracer returns an empty maintenance tracer; set it on Options.Tracer
+// when creating views to record one span tree per maintenance run.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetrics returns an empty metrics registry; set it on Options.Metrics
+// when creating views to collect executor and maintenance counters.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // IntCol declares an integer column.
 func IntCol(name string) Column { return Column{Name: name, Kind: rel.KindInt} }
@@ -455,9 +472,9 @@ func (db *Database) maintainAll(apply func(v *View, cs *view.Changeset) (*MaintS
 		cs := v.m.Begin()
 		stats, err := apply(v, cs)
 		if err != nil {
-			rbErr := cs.Rollback()
+			rbErr := v.m.RollbackStaged(cs)
 			for i := len(staged) - 1; i >= 0; i-- {
-				if e := staged[i].cs.Rollback(); e != nil && rbErr == nil {
+				if e := staged[i].v.m.RollbackStaged(staged[i].cs); e != nil && rbErr == nil {
 					rbErr = e
 				}
 			}
@@ -472,9 +489,7 @@ func (db *Database) maintainAll(apply func(v *View, cs *view.Changeset) (*MaintS
 		staged = append(staged, stagedRun{v: v, cs: cs, stats: stats})
 	}
 	for _, s := range staged {
-		s.stats.UndoRecords = s.cs.Len()
-		s.cs.Commit()
-		s.stats.Committed = true
+		s.v.m.CommitStaged(s.cs, s.stats)
 		s.v.LastStats = s.stats
 	}
 	return nil
