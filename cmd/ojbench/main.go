@@ -38,12 +38,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	reps := flag.Int("reps", 3, "repetitions per measured point (median reported)")
 	workers := flag.Int("workers", 0, "maintenance parallelism (0 = GOMAXPROCS, 1 = serial)")
+	batchSize := flag.Int("batchsize", 0, "executor pipeline batch size in rows (0 = exec default)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of every maintenance run to this file")
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot (JSON) after the experiments")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run")
 	flag.Parse()
 	benchReps = *reps
-	benchOpts = view.Options{Parallelism: *workers}
+	benchOpts = view.Options{Parallelism: *workers, BatchSize: *batchSize}
 	if *tracePath != "" {
 		benchTracer = obs.NewTracer()
 		benchOpts.Tracer = benchTracer
@@ -122,6 +123,7 @@ func emitBench(experiment string, data any) {
 	b, err := json.Marshal(map[string]any{
 		"experiment": experiment,
 		"workers":    benchOpts.Parallelism,
+		"batchsize":  benchOpts.BatchSize,
 		"gomaxprocs": runtime.GOMAXPROCS(0),
 		"data":       data,
 	})

@@ -22,6 +22,13 @@ import (
 // reuse follows the escape in source order, or when both sit in one loop
 // whose iterations the variable outlives — the cross-iteration reuse
 // pattern that per-iteration fresh variables are immune to.
+//
+// The same discipline applies to exec.Batch scratch buffers: b.Rows is
+// refilled in place by every Source.Next(&b) call, so a bare b.Rows stored
+// downstream and later reused — Next, b.Reset(), b.Append(...), an element
+// write b.Rows[i] = x, or a direct b.Rows reassignment — leaves the stored
+// frame pointing into the next batch. append(dst, b.Rows...) copies the row
+// headers out and is the sanctioned drain idiom.
 var RowAlias = &Analyzer{
 	Name: "rowalias",
 	Doc:  "flags rows and encoded-key buffers mutated after being stored or emitted downstream",
@@ -67,6 +74,21 @@ func isRowLike(t types.Type) bool {
 	return false
 }
 
+// isBatchLike reports whether t is a Batch scratch container (or a pointer
+// to one): a named struct type called Batch, matching exec.Batch and the
+// local mirrors used in the analyzer corpora.
+func isBatchLike(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Batch" {
+		return false
+	}
+	_, ok = n.Underlying().(*types.Struct)
+	return ok
+}
+
 // trackedVar resolves e to a variable of row-like type, or nil.
 func trackedVar(pass *Pass, e ast.Expr) *types.Var {
 	id, ok := e.(*ast.Ident)
@@ -83,6 +105,45 @@ func trackedVar(pass *Pass, e ast.Expr) *types.Var {
 		return nil
 	}
 	return obj
+}
+
+// trackedBatchVar resolves e to a variable of Batch (or *Batch) type, or
+// nil.
+func trackedBatchVar(pass *Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		if obj, ok = pass.Info.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	if obj == nil || !isBatchLike(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// batchRowsOf resolves e to the Batch variable owning it when e is a bare
+// b.Rows scratch-slice selector, or nil.
+func batchRowsOf(pass *Pass, e ast.Expr) *types.Var {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rows" {
+		return nil
+	}
+	return trackedBatchVar(pass, sel.X)
+}
+
+// escapee resolves e to the variable whose backing storage would be
+// retained if e were stored downstream: a row-like variable itself, or the
+// Batch owning a bare b.Rows scratch slice.
+func escapee(pass *Pass, e ast.Expr) *types.Var {
+	if v := trackedVar(pass, e); v != nil {
+		return v
+	}
+	return batchRowsOf(pass, e)
 }
 
 // mentionsVar reports whether any identifier inside e resolves to obj.
@@ -120,6 +181,12 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 		return true
 	})
 
+	// Composite literals that are direct call arguments are consumed by the
+	// call like any other argument — plain arguments are not escapes, so a
+	// tracked variable wrapped in a temporary literal is not one either.
+	// append is the exception: its non-ellipsis arguments are retained.
+	transient := make(map[*ast.CompositeLit]bool)
+
 	events := make(map[*types.Var]*rowEvents)
 	var order []*rowEvents
 	record := func(obj *types.Var, pos token.Pos, escape bool) {
@@ -141,16 +208,25 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 		case *ast.AssignStmt:
 			for i, lhs := range n.Lhs {
 				// Element write through a tracked variable: v[i] = x,
-				// including m[k] = x when m is itself row-like.
+				// including m[k] = x when m is itself row-like, and a
+				// batch row slot b.Rows[i] = x.
 				if ix, ok := lhs.(*ast.IndexExpr); ok {
 					if v := trackedVar(pass, ix.X); v != nil {
 						record(v, n.Pos(), false)
 					}
+					if v := batchRowsOf(pass, ix.X); v != nil {
+						record(v, n.Pos(), false)
+					}
 				}
-				// Bare tracked identifier stored into a map/slice element
-				// or a field escapes.
+				// Reassigning the scratch slice itself (b.Rows = ...)
+				// reuses the batch.
+				if v := batchRowsOf(pass, lhs); v != nil {
+					record(v, n.Pos(), false)
+				}
+				// A bare tracked identifier or b.Rows stored into a
+				// map/slice element or a field escapes.
 				if len(n.Lhs) == len(n.Rhs) {
-					if v := trackedVar(pass, n.Rhs[i]); v != nil {
+					if v := escapee(pass, n.Rhs[i]); v != nil {
 						switch lhs.(type) {
 						case *ast.IndexExpr, *ast.SelectorExpr:
 							record(v, n.Pos(), true)
@@ -173,19 +249,29 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 				}
 			}
 		case *ast.SendStmt:
-			if v := trackedVar(pass, n.Value); v != nil {
+			if v := escapee(pass, n.Value); v != nil {
 				record(v, n.Pos(), true)
 			}
 		case *ast.CompositeLit:
+			if transient[n] {
+				break
+			}
 			for _, el := range n.Elts {
 				if kv, ok := el.(*ast.KeyValueExpr); ok {
 					el = kv.Value
 				}
-				if v := trackedVar(pass, el); v != nil {
+				if v := escapee(pass, el); v != nil {
 					record(v, el.Pos(), true)
 				}
 			}
 		case *ast.CallExpr:
+			if calleeName(n) != "append" {
+				for _, arg := range n.Args {
+					if cl, ok := arg.(*ast.CompositeLit); ok {
+						transient[cl] = true
+					}
+				}
+			}
 			switch calleeName(n) {
 			case "append":
 				// append(dst, v) retains v's backing array in dst;
@@ -194,7 +280,7 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 					if i == 0 || (n.Ellipsis.IsValid() && i == len(n.Args)-1) {
 						continue
 					}
-					if v := trackedVar(pass, arg); v != nil {
+					if v := escapee(pass, arg); v != nil {
 						record(v, arg.Pos(), true)
 					}
 				}
@@ -221,6 +307,26 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 				// encoded into; the row argument is only read.
 				if len(n.Args) > 0 {
 					if v := trackedVar(pass, n.Args[len(n.Args)-1]); v != nil {
+						record(v, n.Pos(), false)
+					}
+				}
+			case "Next":
+				// Source.Next(&b) refills the batch's scratch rows in
+				// place: every stored alias of b.Rows observes the next
+				// batch.
+				for _, arg := range n.Args {
+					if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+						arg = u.X
+					}
+					if v := trackedBatchVar(pass, arg); v != nil {
+						record(v, n.Pos(), false)
+					}
+				}
+			case "Reset", "Append":
+				// b.Reset() truncates and b.Append(...) regrows the scratch
+				// slice previously handed out as b.Rows.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if v := trackedBatchVar(pass, sel.X); v != nil {
 						record(v, n.Pos(), false)
 					}
 				}

@@ -92,3 +92,94 @@ func spreadCopy(b []byte) []byte {
 }
 
 func keyOf(i int) string { return string(rune('a' + i)) }
+
+// Batch mirrors exec.Batch: Rows is caller-owned scratch that Next refills
+// in place on every call.
+type Batch struct{ Rows []Row }
+
+func (b *Batch) Reset() { b.Rows = b.Rows[:0] }
+
+func (b *Batch) Append(r Row) { b.Rows = append(b.Rows, r) }
+
+// source mirrors the exec.Source pull loop.
+type source struct{ n int }
+
+func (s *source) Next(b *Batch) bool {
+	b.Reset()
+	s.n--
+	return s.n > 0
+}
+
+var frames [][]Row
+
+// batchRowsPerIteration stores the scratch slice each iteration: every
+// stored frame aliases the one backing array the next Next overwrites.
+func batchRowsPerIteration(s *source) [][]Row {
+	var out [][]Row
+	var b Batch
+	for s.Next(&b) {
+		out = append(out, b.Rows) // want `declared outside the loop, stored here and reused at line \d+`
+	}
+	return out
+}
+
+// batchEscapeThenRefill parks the scratch slice downstream and then asks
+// the source for the next batch, which overwrites it.
+func batchEscapeThenRefill(s *source, b *Batch) {
+	frames = append(frames, b.Rows)
+	s.Next(b) // want `stored or emitted at line \d+ and mutated afterwards`
+}
+
+// batchElementWrite overwrites a row slot after the scratch slice escaped.
+func batchElementWrite(b *Batch, r Row) {
+	frames = append(frames, b.Rows)
+	b.Rows[0] = r // want `stored or emitted at line \d+ and mutated afterwards`
+}
+
+// batchResetAfterEscape truncates the scratch slice the stored frame still
+// points into.
+func batchResetAfterEscape(b *Batch) {
+	frames = append(frames, b.Rows)
+	b.Reset() // want `stored or emitted at line \d+ and mutated afterwards`
+}
+
+// drainSpread copies the rows out (b.Rows...): the stored elements are row
+// headers, not the scratch slice, so the refill is invisible to them.
+func drainSpread(s *source) []Row {
+	var out []Row
+	var b Batch
+	for s.Next(&b) {
+		out = append(out, b.Rows...)
+	}
+	return out
+}
+
+// finalSnapshot stores the scratch slice after the last refill: nothing
+// overwrites it afterwards.
+func finalSnapshot(s *source, b *Batch) {
+	s.Next(b)
+	frames = append(frames, b.Rows)
+}
+
+// view mirrors the transient wrapper pattern of the maintenance layer: a
+// literal built around the scratch slice and consumed by the call.
+type view struct{ rows []Row }
+
+func consume(v view) int { return len(v.rows) }
+
+// transientLiteral wraps the scratch slice in a temporary argument value:
+// the callee consumes it within the statement, so the refill that follows
+// is not observed by anything stored.
+func transientLiteral(s *source, b *Batch) int {
+	n := consume(view{rows: b.Rows})
+	s.Next(b)
+	return n
+}
+
+// literalRetained binds the wrapper to a variable that outlives the next
+// refill: the stored slice observes it.
+func literalRetained(s *source, b *Batch) view {
+	f := view{rows: b.Rows}
+	s.Next(b) // want `stored or emitted at line \d+ and mutated afterwards`
+	return f
+}

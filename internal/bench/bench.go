@@ -10,6 +10,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
@@ -151,6 +152,30 @@ type Fig5Result struct {
 	// the undo-log entries those runs accumulated before committing.
 	Commits     int
 	UndoRecords int
+	// Allocs and AllocBytes are the heap allocations (count and bytes) the
+	// maintenance run performed, from runtime.MemStats deltas around the
+	// timed section. HeapAlloc is the live heap sampled immediately after
+	// the run — with the default GC pacing this tracks the run's working
+	// set, though it is not a true high-water mark.
+	Allocs     uint64
+	AllocBytes uint64
+	HeapAlloc  uint64
+}
+
+// memBefore/memAfter bracket a maintenance run with MemStats reads and fold
+// the allocation deltas into the result.
+func memBefore() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}
+
+func (r *Fig5Result) memAfter(before runtime.MemStats) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Allocs = ms.Mallocs - before.Mallocs
+	r.AllocBytes = ms.TotalAlloc - before.TotalAlloc
+	r.HeapAlloc = ms.HeapAlloc
 }
 
 // maintainable abstracts the systems under test. Implementations return the
@@ -334,12 +359,15 @@ func (s *Setup) RunInsert(n int) (Fig5Result, error) {
 	if err := s.DB.Catalog.Insert("lineitem", rows); err != nil {
 		return Fig5Result{}, err
 	}
+	ms := memBefore()
 	t0 := time.Now()
 	st, err := s.Target.OnInsertRows("lineitem", rows)
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	return fig5Point(n, time.Since(t0), st), nil
+	r := fig5Point(n, time.Since(t0), st)
+	r.memAfter(ms)
+	return r, nil
 }
 
 // fig5Point folds one maintenance run's stats into a Figure 5 point.
@@ -359,12 +387,15 @@ func (s *Setup) RunDelete(n int) (Fig5Result, error) {
 	if err != nil {
 		return Fig5Result{}, err
 	}
+	ms := memBefore()
 	t0 := time.Now()
 	st, err := s.Target.OnDeleteRows("lineitem", deleted)
 	if err != nil {
 		return Fig5Result{}, err
 	}
-	return fig5Point(n, time.Since(t0), st), nil
+	r := fig5Point(n, time.Since(t0), st)
+	r.memAfter(ms)
+	return r, nil
 }
 
 // RunFig5 measures one curve set of Figure 5 ((a) insertions or (b)
@@ -388,6 +419,7 @@ func RunFig5Opts(sf float64, seed int64, insert bool, methods []Method, reps int
 		for _, method := range methods {
 			var r Fig5Result
 			var times []time.Duration
+			var allocs, allocBytes []uint64
 			for rep := 0; rep < reps; rep++ {
 				holdOut := 0
 				if insert {
@@ -406,14 +438,18 @@ func RunFig5Opts(sf float64, seed int64, insert bool, methods []Method, reps int
 					return nil, fmt.Errorf("%s n=%d: %w", method, n, err)
 				}
 				times = append(times, r.Elapsed)
+				allocs = append(allocs, r.Allocs)
+				allocBytes = append(allocBytes, r.AllocBytes)
 			}
 			r.Elapsed = median(times)
+			r.Allocs = medianU64(allocs)
+			r.AllocBytes = medianU64(allocBytes)
 			r.Method = method
 			r.PaperN = paperN
 			results = append(results, r)
 			if out != nil {
-				fmt.Fprintf(out, "  %-16s paperN=%-6d n=%-6d elapsed=%-12s primary=%-6d secondary=%-6d commits=%d undo=%d\n",
-					r.Method, r.PaperN, r.N, r.Elapsed.Round(time.Microsecond), r.PrimaryRows, r.SecondaryRows, r.Commits, r.UndoRecords)
+				fmt.Fprintf(out, "  %-16s paperN=%-6d n=%-6d elapsed=%-12s primary=%-6d secondary=%-6d commits=%d undo=%d allocs=%d alloc_bytes=%d\n",
+					r.Method, r.PaperN, r.N, r.Elapsed.Round(time.Microsecond), r.PrimaryRows, r.SecondaryRows, r.Commits, r.UndoRecords, r.Allocs, r.AllocBytes)
 			}
 		}
 	}
@@ -424,4 +460,10 @@ func RunFig5Opts(sf float64, seed int64, insert bool, methods []Method, reps int
 func median(ds []time.Duration) time.Duration {
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	return ds[len(ds)/2]
+}
+
+// medianU64 returns the middle element of the (sorted) counts.
+func medianU64(xs []uint64) uint64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs[len(xs)/2]
 }

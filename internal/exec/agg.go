@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ojv/internal/algebra"
+	"ojv/internal/obs"
 	"ojv/internal/rel"
 )
 
@@ -14,23 +15,27 @@ type aggState struct {
 	nonNull int64
 }
 
-// evalGroupBy evaluates γ with SQL aggregate semantics: COUNT(*) counts
-// rows, COUNT(c) counts non-null values, SUM/AVG over zero non-null inputs
-// are NULL.
-func evalGroupBy(ctx *Context, n *algebra.GroupBy) (Relation, error) {
-	in, err := Eval(ctx, n.Input)
+// buildGroupBy compiles γ into a blocking streaming source: input batches
+// fold into per-group aggregate states as they arrive (only the group
+// states are retained, never the input rows), and the finalized groups
+// emit in first-seen order once the input is exhausted. SQL aggregate
+// semantics: COUNT(*) counts rows, COUNT(c) counts non-null values,
+// SUM/AVG over zero non-null inputs are NULL.
+func buildGroupBy(ctx *Context, n *algebra.GroupBy, parent *obs.Span) (Source, error) {
+	sp := opSpan(parent, "exec.groupby")
+	in, err := build(ctx, n.Input, sp)
 	if err != nil {
-		return Relation{}, err
+		return nil, err
 	}
 	outSchema, err := algebra.SchemaOf(n, ctx)
 	if err != nil {
-		return Relation{}, err
+		return nil, err
 	}
 	groupCols := make([]int, len(n.GroupCols))
 	for i, c := range n.GroupCols {
-		p := in.Schema.IndexOf(c.Table, c.Column)
+		p := in.Schema().IndexOf(c.Table, c.Column)
 		if p < 0 {
-			return Relation{}, fmt.Errorf("exec: group column %s not in %s", c, in.Schema)
+			return nil, fmt.Errorf("exec: group column %s not in %s", c, in.Schema())
 		}
 		groupCols[i] = p
 	}
@@ -40,56 +45,115 @@ func evalGroupBy(ctx *Context, n *algebra.GroupBy) (Relation, error) {
 			aggCols[i] = -1 // COUNT(*)
 			continue
 		}
-		p := in.Schema.IndexOf(a.Col.Table, a.Col.Column)
+		p := in.Schema().IndexOf(a.Col.Table, a.Col.Column)
 		if p < 0 {
-			return Relation{}, fmt.Errorf("exec: aggregate column %s not in %s", a.Col, in.Schema)
+			return nil, fmt.Errorf("exec: aggregate column %s not in %s", a.Col, in.Schema())
 		}
 		aggCols[i] = p
 	}
+	return &groupBySource{
+		opBase:    opBase{schema: outSchema, span: sp},
+		ctx:       ctx,
+		in:        in,
+		aggs:      n.Aggs,
+		groupCols: groupCols,
+		aggCols:   aggCols,
+	}, nil
+}
 
-	type group struct {
-		key  rel.Row
-		aggs []aggState
+// group is one aggregation group: its key values and aggregate states.
+type group struct {
+	key  rel.Row
+	aggs []aggState
+}
+
+type groupBySource struct {
+	opBase
+	ctx       *Context
+	in        Source
+	aggs      []algebra.Aggregate
+	groupCols []int
+	aggCols   []int
+
+	started bool
+	out     []rel.Row
+	pos     int
+}
+
+func (s *groupBySource) Open() error { return s.in.Open() }
+
+func (s *groupBySource) Next(b *Batch) (bool, error) {
+	if !s.started {
+		s.started = true
+		if err := s.fold(); err != nil {
+			return false, err
+		}
 	}
+	b.Reset()
+	limit := s.ctx.batchSize()
+	for s.pos < len(s.out) && b.Len() < limit {
+		b.Append(s.out[s.pos])
+		s.pos++
+	}
+	if b.Len() == 0 {
+		return false, nil
+	}
+	s.observe(b)
+	return true, nil
+}
+
+// fold consumes the input batch by batch, accumulating group states, then
+// finalizes the output rows in first-seen group order.
+func (s *groupBySource) fold() error {
 	groups := make(map[string]*group)
 	var order []string
-	for _, r := range in.Rows {
-		k := rel.EncodeRowCols(r, groupCols)
-		g := groups[k]
-		if g == nil {
-			g = &group{key: r.Project(groupCols), aggs: make([]aggState, len(n.Aggs))}
-			groups[k] = g
-			order = append(order, k)
+	var in Batch
+	for {
+		ok, err := s.in.Next(&in)
+		if err != nil {
+			return err
 		}
-		for i := range n.Aggs {
-			st := &g.aggs[i]
-			if aggCols[i] < 0 {
+		if !ok {
+			break
+		}
+		for _, r := range in.Rows {
+			k := rel.EncodeRowCols(r, s.groupCols)
+			g := groups[k]
+			if g == nil {
+				g = &group{key: r.Project(s.groupCols), aggs: make([]aggState, len(s.aggs))}
+				groups[k] = g
+				order = append(order, k)
+			}
+			for i := range s.aggs {
+				st := &g.aggs[i]
+				if s.aggCols[i] < 0 {
+					st.count++
+					continue
+				}
+				v := r[s.aggCols[i]]
 				st.count++
-				continue
-			}
-			v := r[aggCols[i]]
-			st.count++
-			if v.IsNull() {
-				continue
-			}
-			st.nonNull++
-			if st.sum.IsNull() {
-				st.sum = v
-			} else {
-				st.sum = rel.Add(st.sum, v)
+				if v.IsNull() {
+					continue
+				}
+				st.nonNull++
+				if st.sum.IsNull() {
+					st.sum = v
+				} else {
+					st.sum = rel.Add(st.sum, v)
+				}
 			}
 		}
 	}
-	out := Relation{Schema: outSchema, Rows: make([]rel.Row, 0, len(groups))}
+	s.out = make([]rel.Row, 0, len(groups))
 	for _, k := range order {
 		g := groups[k]
-		row := make(rel.Row, 0, len(outSchema))
+		row := make(rel.Row, 0, len(s.schema))
 		row = append(row, g.key...)
-		for i, a := range n.Aggs {
+		for i, a := range s.aggs {
 			st := g.aggs[i]
 			switch a.Func {
 			case algebra.AggCount:
-				if aggCols[i] < 0 {
+				if s.aggCols[i] < 0 {
 					row = append(row, rel.Int(st.count))
 				} else {
 					row = append(row, rel.Int(st.nonNull))
@@ -103,10 +167,17 @@ func evalGroupBy(ctx *Context, n *algebra.GroupBy) (Relation, error) {
 					row = append(row, rel.Float(st.sum.AsFloat()/float64(st.nonNull)))
 				}
 			default:
-				return Relation{}, fmt.Errorf("exec: unsupported aggregate %v", a.Func)
+				return fmt.Errorf("exec: unsupported aggregate %v", a.Func)
 			}
 		}
-		out.Rows = append(out.Rows, row)
+		s.out = append(s.out, row)
 	}
-	return out, nil
+	return nil
+}
+
+func (s *groupBySource) Close() error {
+	err := s.in.Close()
+	s.out = nil
+	s.finish()
+	return err
 }

@@ -1,8 +1,13 @@
 // Package exec evaluates logical algebra expressions against an in-memory
-// catalog. Evaluation is fully materialized (every operator returns its
-// complete result), which matches the paper's maintenance setting: the
-// expressions being evaluated are small delta expressions, or base-table
-// expressions whose cost is exactly what the experiments measure.
+// catalog through a pull-based, batch-at-a-time operator pipeline: plans
+// compile into a tree of Source iterators (Open/Next/Close) exchanging
+// Batches of row references (see batch.go and stream.go). Scans, selects,
+// projections, λ, δ and the probe side of every join stream; subsumption
+// operators, aggregation and hash-join build sides materialize, because
+// their semantics are properties of their whole input. Eval remains as the
+// materializing compatibility wrapper (drain a pipeline into a Relation)
+// for callers that want the complete result — the algebra verifier, the
+// planck checker, and the differential oracle.
 //
 // Joins pick a physical algorithm per node: index nested loop when the
 // right operand is a (possibly selected) base table with a usable hash
@@ -11,15 +16,14 @@
 // relies on — a small delta on the left of a left-deep tree makes
 // maintenance cost proportional to the delta, not the base tables.
 //
-// Evaluation is partition-parallel when Context.Parallelism allows it: the
-// two inputs of a join evaluate concurrently, and large hash joins build
-// per-worker partitions and probe in morsels (see partition.go). Every
-// setting produces identical rows in identical order.
+// Evaluation is partition-parallel when Context.Parallelism allows it:
+// join build sides drain concurrently with opening the probe side, and
+// large probe batches are processed in morsels (see partition.go and
+// streamjoin.go). Every setting produces identical rows in identical
+// order.
 package exec
 
 import (
-	"fmt"
-
 	"ojv/internal/algebra"
 	"ojv/internal/obs"
 	"ojv/internal/rel"
@@ -50,12 +54,20 @@ type Context struct {
 	// Results are deterministic — identical rows in identical order — at
 	// every setting.
 	Parallelism int
+	// BatchSize is the soft row cap per pipeline batch (joins may overshoot
+	// for one input batch rather than split their output). Non-positive
+	// means DefaultBatchSize.
+	BatchSize int
 	// Metrics, when non-nil, receives executor counters (rows scanned, hash
 	// build/probe rows, λ and condense applications, per-worker morsel
-	// counts). Counters are incremented once per operator node with batch
-	// totals, never per row, so the enabled overhead stays small; a nil
-	// registry costs one pointer check per node.
+	// counts). Counters are incremented once per batch with batch totals,
+	// never per row, so the enabled overhead stays small; a nil registry
+	// costs one pointer check per batch.
 	Metrics *obs.Registry
+	// Span, when non-nil, is the parent span per-operator pipeline spans
+	// attach under; the pipeline mirrors the plan tree beneath it, each
+	// operator span ending at Close with its total row and batch counts.
+	Span *obs.Span
 }
 
 // TableSchema implements algebra.SchemaResolver. RelRef bindings shadow
@@ -68,264 +80,25 @@ func (c *Context) TableSchema(name string) (rel.Schema, bool) {
 	return c.Catalog.TableSchema(name)
 }
 
-// Eval evaluates an expression and returns its materialized result.
+// Eval evaluates an expression and returns its materialized result: it
+// compiles the expression into a pipeline, drains it, and closes it. Rows
+// arrive in the same deterministic order the streaming pipeline produces.
 func Eval(ctx *Context, e algebra.Expr) (Relation, error) {
-	switch n := e.(type) {
-	case *algebra.TableRef:
-		t := ctx.Catalog.Table(n.Name)
-		if t == nil {
-			return Relation{}, fmt.Errorf("exec: unknown table %s", n.Name)
-		}
-		rows := t.Rows()
-		ctx.Metrics.Add("exec.rows.scanned", int64(len(rows)))
-		return Relation{Schema: t.Schema(), Rows: rows}, nil
-
-	case *algebra.DeltaRef:
-		t := ctx.Catalog.Table(n.Name)
-		if t == nil {
-			return Relation{}, fmt.Errorf("exec: unknown table %s", n.Name)
-		}
-		ctx.Metrics.Add("exec.rows.scanned", int64(len(ctx.Deltas[n.Name])))
-		return Relation{Schema: t.Schema(), Rows: ctx.Deltas[n.Name]}, nil
-
-	case *algebra.OldTableRef:
-		r, err := evalOldTable(ctx, n.Name)
-		if err == nil {
-			ctx.Metrics.Add("exec.rows.scanned", int64(len(r.Rows)))
-		}
-		return r, err
-
-	case *algebra.RelRef:
-		r, ok := ctx.Rels[n.Name]
-		if !ok {
-			return Relation{}, fmt.Errorf("exec: unbound relation %s", n.Name)
-		}
-		return r, nil
-
-	case *algebra.Select:
-		in, err := Eval(ctx, n.Input)
-		if err != nil {
-			return Relation{}, err
-		}
-		f, err := n.Pred.Compile(in.Schema)
-		if err != nil {
-			return Relation{}, err
-		}
-		out := Relation{Schema: in.Schema}
-		for _, r := range in.Rows {
-			if f(r) == algebra.True {
-				out.Rows = append(out.Rows, r)
-			}
-		}
-		return out, nil
-
-	case *algebra.Project:
-		in, err := Eval(ctx, n.Input)
-		if err != nil {
-			return Relation{}, err
-		}
-		cols := make([]int, len(n.Cols))
-		for i, c := range n.Cols {
-			p := in.Schema.IndexOf(c.Table, c.Column)
-			if p < 0 {
-				return Relation{}, fmt.Errorf("exec: projected column %s not in %s", c, in.Schema)
-			}
-			cols[i] = p
-		}
-		out := Relation{Schema: in.Schema.Project(cols), Rows: make([]rel.Row, len(in.Rows))}
-		for i, r := range in.Rows {
-			out.Rows[i] = r.Project(cols)
-		}
-		return out, nil
-
-	case *algebra.Join:
-		return evalJoin(ctx, n)
-
-	case *algebra.OuterUnion:
-		return evalOuterUnion(ctx, n.Inputs)
-
-	case *algebra.MinUnion:
-		u, err := evalOuterUnion(ctx, n.Inputs)
-		if err != nil {
-			return Relation{}, err
-		}
-		ctx.Metrics.Add("exec.condense.rows", int64(len(u.Rows)))
-		return Relation{Schema: u.Schema, Rows: removeSubsumed(u.Rows)}, nil
-
-	case *algebra.RemoveSubsumed:
-		in, err := Eval(ctx, n.Input)
-		if err != nil {
-			return Relation{}, err
-		}
-		ctx.Metrics.Add("exec.condense.rows", int64(len(in.Rows)))
-		return Relation{Schema: in.Schema, Rows: removeSubsumed(in.Rows)}, nil
-
-	case *algebra.Dedup:
-		in, err := Eval(ctx, n.Input)
-		if err != nil {
-			return Relation{}, err
-		}
-		ctx.Metrics.Add("exec.condense.rows", int64(len(in.Rows)))
-		return Relation{Schema: in.Schema, Rows: dedup(in.Rows)}, nil
-
-	case *algebra.NullIf:
-		r, err := evalNullIf(ctx, n)
-		if err == nil {
-			ctx.Metrics.Add("exec.lambda.rows", int64(len(r.Rows)))
-		}
-		return r, err
-
-	case *algebra.Condense:
-		r, err := evalCondense(ctx, n)
-		if err == nil {
-			ctx.Metrics.Add("exec.condense.rows", int64(len(r.Rows)))
-		}
-		return r, err
-
-	case *algebra.Pad:
-		in, err := Eval(ctx, n.Input)
-		if err != nil {
-			return Relation{}, err
-		}
-		outSchema, err := algebra.SchemaOf(n, ctx)
-		if err != nil {
-			return Relation{}, err
-		}
-		out := Relation{Schema: outSchema, Rows: make([]rel.Row, len(in.Rows))}
-		for i, r := range in.Rows {
-			pr := make(rel.Row, len(outSchema))
-			copy(pr, r)
-			out.Rows[i] = pr
-		}
-		return out, nil
-
-	case *algebra.GroupBy:
-		return evalGroupBy(ctx, n)
-
-	default:
-		return Relation{}, fmt.Errorf("exec: unknown node %T", e)
-	}
-}
-
-// evalOldTable reconstructs the pre-update state of a table: the current
-// contents minus the inserted delta, or plus the deleted delta. This is how
-// the paper's T± ⋉la_eq(T) ΔT (insertions) and T± + ΔT (deletions) are
-// realized.
-func evalOldTable(ctx *Context, name string) (Relation, error) {
-	t := ctx.Catalog.Table(name)
-	if t == nil {
-		return Relation{}, fmt.Errorf("exec: unknown table %s", name)
-	}
-	delta := ctx.Deltas[name]
-	if len(delta) == 0 {
-		return Relation{Schema: t.Schema(), Rows: t.Rows()}, nil
-	}
-	if ctx.DeltaIsInsert {
-		deleted := make(map[string]bool, len(delta))
-		for _, d := range delta {
-			deleted[t.KeyOf(d)] = true
-		}
-		out := Relation{Schema: t.Schema()}
-		for _, r := range t.Rows() {
-			if !deleted[t.KeyOf(r)] {
-				out.Rows = append(out.Rows, r)
-			}
-		}
-		return out, nil
-	}
-	rows := t.Rows()
-	rows = append(rows, delta...)
-	return Relation{Schema: t.Schema(), Rows: rows}, nil
-}
-
-func evalOuterUnion(ctx *Context, inputs []algebra.Expr) (Relation, error) {
-	ins := make([]Relation, len(inputs))
-	var schema rel.Schema
-	for i, e := range inputs {
-		r, err := Eval(ctx, e)
-		if err != nil {
-			return Relation{}, err
-		}
-		ins[i] = r
-		if i == 0 {
-			schema = r.Schema
-		} else {
-			schema = schema.Union(r.Schema)
-		}
-	}
-	out := Relation{Schema: schema}
-	for _, in := range ins {
-		mapping := make([]int, len(in.Schema))
-		for i, c := range in.Schema {
-			mapping[i] = schema.MustIndexOf(c.Table, c.Name)
-		}
-		for _, r := range in.Rows {
-			padded := make(rel.Row, len(schema))
-			for i, v := range r {
-				padded[mapping[i]] = v
-			}
-			out.Rows = append(out.Rows, padded)
-		}
-	}
-	return out, nil
-}
-
-func evalNullIf(ctx *Context, n *algebra.NullIf) (Relation, error) {
-	in, err := Eval(ctx, n.Input)
+	src, err := NewPipeline(ctx, e)
 	if err != nil {
 		return Relation{}, err
 	}
-	f, err := n.Unless.Compile(in.Schema)
+	if err := src.Open(); err != nil {
+		src.Close()
+		return Relation{}, err
+	}
+	out, err := Drain(src)
+	cerr := src.Close()
 	if err != nil {
 		return Relation{}, err
 	}
-	var nullCols []int
-	for _, t := range n.NullTables {
-		nullCols = append(nullCols, in.Schema.TableColumns(t)...)
-	}
-	out := Relation{Schema: in.Schema, Rows: make([]rel.Row, len(in.Rows))}
-	for i, r := range in.Rows {
-		if f(r) == algebra.True {
-			out.Rows[i] = r
-			continue
-		}
-		nr := r.Clone()
-		for _, c := range nullCols {
-			nr[c] = rel.Null
-		}
-		out.Rows[i] = nr
-	}
-	return out, nil
-}
-
-func evalCondense(ctx *Context, n *algebra.Condense) (Relation, error) {
-	in, err := Eval(ctx, n.Input)
-	if err != nil {
-		return Relation{}, err
-	}
-	if len(n.GroupKey) == 0 {
-		return Relation{Schema: in.Schema, Rows: dedup(removeSubsumed(in.Rows))}, nil
-	}
-	keyCols := make([]int, len(n.GroupKey))
-	for i, c := range n.GroupKey {
-		p := in.Schema.IndexOf(c.Table, c.Column)
-		if p < 0 {
-			return Relation{}, fmt.Errorf("exec: condense key column %s not in %s", c, in.Schema)
-		}
-		keyCols[i] = p
-	}
-	groups := make(map[string][]rel.Row)
-	var order []string
-	for _, r := range in.Rows {
-		k := rel.EncodeRowCols(r, keyCols)
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], r)
-	}
-	out := Relation{Schema: in.Schema}
-	for _, k := range order {
-		out.Rows = append(out.Rows, dedup(removeSubsumed(groups[k]))...)
+	if cerr != nil {
+		return Relation{}, cerr
 	}
 	return out, nil
 }

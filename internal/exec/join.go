@@ -8,56 +8,6 @@ import (
 	"ojv/internal/rel"
 )
 
-// evalJoin evaluates a join node, picking index-nested-loop, hash, or
-// nested-loop execution. The physical decision needs only the input
-// schemas, so when no index probe applies the two inputs — independent
-// subtrees — are evaluated concurrently under the context's worker budget.
-func evalJoin(ctx *Context, n *algebra.Join) (Relation, error) {
-	leftSchema, err := algebra.SchemaOf(n.Left, ctx)
-	if err != nil {
-		return Relation{}, err
-	}
-	rightSchema, err := algebra.SchemaOf(n.Right, ctx)
-	if err != nil {
-		return Relation{}, err
-	}
-	concat := leftSchema.Concat(rightSchema)
-	pred, err := n.Pred.Compile(concat)
-	if err != nil {
-		return Relation{}, err
-	}
-	pairs, _ := algebra.EquiPairs(n.Pred, algebra.TableSet(n.Left), algebra.TableSet(n.Right))
-
-	// Index nested loop: only for kinds that never emit unmatched right
-	// rows, when the right operand is a (selected) base table with a hash
-	// index (or the unique key) on exactly the equijoin columns.
-	if n.Kind != algebra.RightOuterJoin && n.Kind != algebra.FullOuterJoin && len(pairs) > 0 {
-		if probe, ok, err := makeIndexProbe(ctx, n.Right, leftSchema, pairs); err != nil {
-			return Relation{}, err
-		} else if ok {
-			left, err := Eval(ctx, n.Left)
-			if err != nil {
-				return Relation{}, err
-			}
-			ctx.Metrics.Add("exec.join.index.probe_rows", int64(len(left.Rows)))
-			return joinWithProbe(n.Kind, left, rightSchema, concat, pred, probe)
-		}
-	}
-
-	var left, right Relation
-	if err := runTasks(ctx.workers(),
-		func() error { var e error; left, e = Eval(ctx, n.Left); return e },
-		func() error { var e error; right, e = Eval(ctx, n.Right); return e },
-	); err != nil {
-		return Relation{}, err
-	}
-	if len(pairs) > 0 {
-		return hashJoin(ctx.workers(), ctx.Metrics, n.Kind, left, right, concat, pred, pairs)
-	}
-	ctx.Metrics.Add("exec.join.nested.probe_rows", int64(len(left.Rows)))
-	return nestedLoopJoin(n.Kind, left, right, concat, pred)
-}
-
 // probeFunc returns the candidate right rows for one left row; the bool is
 // false when an equijoin column of the left row is NULL (no match possible).
 type probeFunc func(l rel.Row) ([]rel.Row, bool)
@@ -259,51 +209,6 @@ func sameColumnSet(a, b []int) bool {
 	return true
 }
 
-// joinWithProbe drives inner/left-outer/semi/anti joins through a probe
-// source.
-func joinWithProbe(kind algebra.JoinKind, left Relation, rightSchema, concat rel.Schema, pred func(rel.Row) algebra.Tri, probe probeFunc) (Relation, error) {
-	out := Relation{Schema: concat}
-	if kind == algebra.SemiJoin || kind == algebra.AntiJoin {
-		out.Schema = left.Schema
-	}
-	nRight := len(rightSchema)
-	buf := make(rel.Row, len(left.Schema)+nRight)
-	for _, l := range left.Rows {
-		matched := false
-		cands, ok := probe(l)
-		if ok {
-			for _, r := range cands {
-				copy(buf, l)
-				copy(buf[len(l):], r)
-				if pred(buf) != algebra.True {
-					continue
-				}
-				matched = true
-				if kind == algebra.InnerJoin || kind == algebra.LeftOuterJoin {
-					out.Rows = append(out.Rows, buf.Clone())
-				} else {
-					break
-				}
-			}
-		}
-		switch kind {
-		case algebra.LeftOuterJoin:
-			if !matched {
-				out.Rows = append(out.Rows, nullExtendRight(l, nRight))
-			}
-		case algebra.SemiJoin:
-			if matched {
-				out.Rows = append(out.Rows, l)
-			}
-		case algebra.AntiJoin:
-			if !matched {
-				out.Rows = append(out.Rows, l)
-			}
-		}
-	}
-	return out, nil
-}
-
 func nullExtendRight(l rel.Row, nRight int) rel.Row {
 	out := make(rel.Row, len(l)+nRight)
 	copy(out, l)
@@ -316,13 +221,10 @@ func nullExtendLeft(r rel.Row, nLeft int) rel.Row {
 	return out
 }
 
-// hashJoin handles every join kind by hashing the right input on the
-// equijoin columns and probing with the left. Buckets are keyed by the
-// uint64 prehash of the equijoin columns, computed into a reusable scratch
-// buffer so neither the build nor the probe side allocates a key per row;
-// hash collisions only add candidates the join predicate filters out.
-// With workers > 1 and large enough inputs the join switches to the
-// partition-parallel path, which produces an identical result.
+// hashJoin joins two materialized relations through the streaming join
+// source by hashing the right input on the equijoin columns and probing
+// with the left in batches. With workers > 1 large batches probe in
+// parallel morsels; the result is byte-identical at every worker count.
 func hashJoin(workers int, metrics *obs.Registry, kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, pairs [][2]algebra.ColRef) (Relation, error) {
 	leftCols := make([]int, len(pairs))
 	rightCols := make([]int, len(pairs))
@@ -330,110 +232,54 @@ func hashJoin(workers int, metrics *obs.Registry, kind algebra.JoinKind, left, r
 		leftCols[i] = left.Schema.MustIndexOf(p[0].Table, p[0].Column)
 		rightCols[i] = right.Schema.MustIndexOf(p[1].Table, p[1].Column)
 	}
-	metrics.Add("exec.join.hash.build_rows", int64(len(right.Rows)))
-	metrics.Add("exec.join.hash.probe_rows", int64(len(left.Rows)))
-	if workers > 1 && len(left.Rows)+len(right.Rows) >= partitionedJoinMinRows {
-		return partitionedHashJoin(workers, metrics, kind, left, right, concat, pred, leftCols, rightCols)
-	}
-	table := make(map[uint64][]int, len(right.Rows))
-	var buf []byte
-	for i, r := range right.Rows {
-		if anyNull(r, rightCols) {
-			continue // a NULL key never matches
-		}
-		var h uint64
-		h, buf = rel.HashRowCols(r, rightCols, buf)
-		table[h] = append(table[h], i)
-	}
-	probe := func(l rel.Row) []int {
-		if anyNull(l, leftCols) {
-			return nil
-		}
-		var h uint64
-		h, buf = rel.HashRowCols(l, leftCols, buf)
-		return table[h]
-	}
-	return genericJoin(kind, left, right, concat, pred, probe)
+	return joinMaterialized(workers, metrics, kind, left, right, concat, pred, leftCols, rightCols)
 }
 
 // nestedLoopJoin handles joins without equijoin conjuncts.
 func nestedLoopJoin(kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri) (Relation, error) {
-	all := make([]int, len(right.Rows))
-	for i := range all {
-		all[i] = i
-	}
-	return genericJoin(kind, left, right, concat, pred, func(rel.Row) []int { return all })
+	return joinMaterialized(1, nil, kind, left, right, concat, pred, nil, nil)
 }
 
-// genericJoin drives any join kind over a candidate-index probe into the
-// materialized right input, tracking matched right rows for right/full
-// outer joins.
-func genericJoin(kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, probe func(rel.Row) []int) (Relation, error) {
-	out := Relation{Schema: concat}
+// joinMaterialized wraps two materialized relations in scan sources, runs
+// the streaming hash/nested-loop join, and drains the result.
+func joinMaterialized(workers int, metrics *obs.Registry, kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, leftCols, rightCols []int) (Relation, error) {
+	ctx := &Context{Parallelism: workers, Metrics: metrics}
+	outSchema := concat
 	if kind == algebra.SemiJoin || kind == algebra.AntiJoin {
-		out.Schema = left.Schema
+		outSchema = left.Schema
 	}
-	// Preallocate the guaranteed lower bound of the output size, so large
-	// primary deltas do not regrow the slice log(n) times.
-	switch kind {
-	case algebra.LeftOuterJoin, algebra.FullOuterJoin:
-		out.Rows = make([]rel.Row, 0, len(left.Rows))
-	case algebra.RightOuterJoin:
-		out.Rows = make([]rel.Row, 0, len(right.Rows))
+	src := &hashJoinSource{
+		opBase:     opBase{schema: outSchema},
+		ctx:        ctx,
+		kind:       kind,
+		left:       newRelSource(ctx, left),
+		right:      newRelSource(ctx, right),
+		pred:       pred,
+		leftCols:   leftCols,
+		rightCols:  rightCols,
+		leftWidth:  len(left.Schema),
+		rightWidth: len(right.Schema),
 	}
-	var matchedRight []bool
-	if kind == algebra.RightOuterJoin || kind == algebra.FullOuterJoin {
-		matchedRight = make([]bool, len(right.Rows))
+	if err := src.Open(); err != nil {
+		src.Close()
+		return Relation{}, err
 	}
-	buf := make(rel.Row, len(left.Schema)+len(right.Schema))
-	for _, l := range left.Rows {
-		matched := false
-		for _, idx := range probe(l) {
-			r := right.Rows[idx]
-			copy(buf, l)
-			copy(buf[len(l):], r)
-			if pred(buf) != algebra.True {
-				continue
-			}
-			matched = true
-			if matchedRight != nil {
-				matchedRight[idx] = true
-			}
-			switch kind {
-			case algebra.InnerJoin, algebra.LeftOuterJoin, algebra.RightOuterJoin, algebra.FullOuterJoin:
-				out.Rows = append(out.Rows, buf.Clone())
-			}
-		}
-		switch kind {
-		case algebra.LeftOuterJoin, algebra.FullOuterJoin:
-			if !matched {
-				out.Rows = append(out.Rows, nullExtendRight(l, len(right.Schema)))
-			}
-		case algebra.SemiJoin:
-			if matched {
-				out.Rows = append(out.Rows, l)
-			}
-		case algebra.AntiJoin:
-			if !matched {
-				out.Rows = append(out.Rows, l)
-			}
-		}
+	out, err := Drain(src)
+	cerr := src.Close()
+	if err != nil {
+		return Relation{}, err
 	}
-	if matchedRight != nil {
-		for i, r := range right.Rows {
-			if !matchedRight[i] {
-				out.Rows = append(out.Rows, nullExtendLeft(r, len(left.Schema)))
-			}
-		}
+	if cerr != nil {
+		return Relation{}, cerr
 	}
 	return out, nil
 }
 
-func anyNull(r rel.Row, cols []int) bool {
-	for _, c := range cols {
-		if r[c].IsNull() {
-			return true
-		}
+// newRelSource scans an in-memory relation (no metrics, no span).
+func newRelSource(ctx *Context, r Relation) Source {
+	return &scanSource{
+		opBase: opBase{schema: r.Schema},
+		ctx:    ctx,
+		fetch:  func() ([]rel.Row, error) { return r.Rows, nil },
 	}
-	return false
 }

@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"ojv/internal/algebra"
 	"ojv/internal/rel"
@@ -133,5 +136,122 @@ func TestEvalParallelEquivalence(t *testing.T) {
 	}
 	if len(serial.Rows) == 0 {
 		t.Fatal("degenerate test: empty join result")
+	}
+}
+
+// stubSource is a controllable Source for failure-path tests: it can delay
+// and fail Open, and serves a fixed row slice.
+type stubSource struct {
+	schema  rel.Schema
+	rows    []rel.Row
+	delay   time.Duration
+	openErr error
+	pos     int
+}
+
+func (s *stubSource) Schema() rel.Schema { return s.schema }
+
+func (s *stubSource) Open() error {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return s.openErr
+}
+
+func (s *stubSource) Next(b *Batch) (bool, error) {
+	b.Reset()
+	for s.pos < len(s.rows) && b.Len() < DefaultBatchSize {
+		b.Append(s.rows[s.pos])
+		s.pos++
+	}
+	return b.Len() > 0, nil
+}
+
+func (s *stubSource) Close() error { return nil }
+
+// TestPipelineGoroutineLeak proves the pool primitives never strand
+// goroutines, including on early-error and early-abandon paths. Both
+// runTasks and forChunks wg.Wait their workers unconditionally — an error
+// in one task does not orphan its siblings — so the goroutine count must
+// return to its baseline after (a) joins whose build side fails at Open
+// while the probe side is still opening, (b) parallel evaluations drained
+// to completion, and (c) pipelines abandoned after a single batch.
+func TestPipelineGoroutineLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	left := bigRandRelation(rng, "t", 1200)
+	right := bigRandRelation(rng, "u", 1200)
+	concat := left.Schema.Concat(right.Schema)
+	pred, err := algebra.Eq("t", "x", "u", "x").Compile(concat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]algebra.ColRef{{algebra.Col("t", "x"), algebra.Col("u", "x")}}
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	boom := errors.New("boom")
+	for i := 0; i < 25; i++ {
+		// (a) The build side fails at Open while the probe side is mid-Open:
+		// runTasks must still join the concurrent opener before returning.
+		ctx := &Context{Parallelism: 4}
+		src := &hashJoinSource{
+			opBase:     opBase{schema: concat},
+			ctx:        ctx,
+			kind:       algebra.FullOuterJoin,
+			left:       &stubSource{schema: left.Schema, rows: left.Rows, delay: time.Millisecond},
+			right:      &stubSource{schema: right.Schema, openErr: boom},
+			pred:       pred,
+			leftWidth:  len(left.Schema),
+			rightWidth: len(right.Schema),
+		}
+		if err := src.Open(); !errors.Is(err, boom) {
+			t.Fatalf("open error = %v, want %v", err, boom)
+		}
+		if err := src.Close(); err != nil {
+			t.Fatalf("close after failed open: %v", err)
+		}
+
+		// (b) A fully drained partitioned join.
+		if _, err := hashJoin(4, nil, algebra.FullOuterJoin, left, right, concat, pred, pairs); err != nil {
+			t.Fatal(err)
+		}
+
+		// (c) A pipeline abandoned after one batch.
+		src2 := &hashJoinSource{
+			opBase:     opBase{schema: concat},
+			ctx:        &Context{Parallelism: 4},
+			kind:       algebra.InnerJoin,
+			left:       &stubSource{schema: left.Schema, rows: left.Rows},
+			right:      &stubSource{schema: right.Schema, rows: right.Rows},
+			pred:       pred,
+			leftCols:   []int{0},
+			rightCols:  []int{0},
+			leftWidth:  len(left.Schema),
+			rightWidth: len(right.Schema),
+		}
+		if err := src2.Open(); err != nil {
+			t.Fatal(err)
+		}
+		var b Batch
+		if _, err := src2.Next(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := src2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Give any stragglers a moment to exit before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline || time.Now().After(deadline) {
+			if n > baseline {
+				t.Fatalf("goroutines leaked: %d before, %d after", baseline, n)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -1,182 +1,121 @@
 package exec
 
 import (
-	"fmt"
-
-	"ojv/internal/algebra"
-	"ojv/internal/obs"
 	"ojv/internal/rel"
 )
 
-// Partition-parallel hash join. The build side is prehashed in parallel
-// morsels, split into one partition (and one bucket map) per worker, and
-// the probe side is processed in contiguous morsels by a worker pool. The
-// result is identical, row for row, to the serial hashJoin:
+// Partitioned hash-table build for the streaming join (streamjoin.go). The
+// build side is prehashed in parallel morsels, split into one partition
+// (and one bucket map) per worker, and probed batch-at-a-time. The result
+// is identical, row for row, at every worker count:
 //
-//   - bucket candidate lists hold right-row indexes in ascending order
+//   - bucket candidate lists hold build-row indexes in ascending order
 //     (each partition is built by one worker scanning the prehash array in
-//     input order), so per-left-row match order matches the serial join;
-//   - per-morsel output chunks are concatenated in morsel (= left-row)
-//     order;
-//   - unmatched right rows (right/full outer) are appended last in
-//     right-row order, after OR-merging the per-worker matched bitmaps.
+//     input order), and the candidates for a given hash all live in the
+//     same partition regardless of the partition count, so per-probe-row
+//     match order never depends on parallelism;
+//   - per-morsel probe output chunks are concatenated in morsel (= probe
+//     row) order by the join source;
+//   - unmatched build rows (right/full outer) are appended last in build
+//     order, after OR-merging the per-worker matched bitmaps.
 //
 // Buckets are keyed by the uint64 prehash of the equijoin columns; hash
 // collisions only add candidates that the join predicate — which always
-// contains the equijoin conjuncts — filters out, exactly as it does in the
-// serial join.
+// contains the equijoin conjuncts — filters out.
 
 // probeMorsel is the number of probe-side rows per unit of work handed to
 // the pool.
 const probeMorsel = 512
 
-// partitionedJoinMinRows gates the partitioned path: below this total input
-// size the setup cost outweighs the parallelism.
+// partitionedJoinMinRows gates parallel probing: when the build side plus
+// one probe batch stay below this total, the dispatch cost outweighs the
+// parallelism and the join probes the batch serially.
 const partitionedJoinMinRows = 1024
 
-// partitionedHashJoin runs the morsel-parallel hash join. workers must be
-// >= 2 (callers fall back to the serial hashJoin otherwise).
-func partitionedHashJoin(workers int, metrics *obs.Registry, kind algebra.JoinKind, left, right Relation, concat rel.Schema, pred func(rel.Row) algebra.Tri, leftCols, rightCols []int) (Relation, error) {
-	nPart := uint64(workers)
+// joinTable is the materialized build side of a streaming join: the build
+// rows plus either partitioned hash buckets (equijoin) or the full index
+// list (nested loop, cols empty).
+type joinTable struct {
+	rows    []rel.Row
+	hashed  bool
+	nPart   uint64
+	buckets []map[uint64][]int32
+	cols    []int   // build-side equijoin columns (hashed only)
+	all     []int32 // every row, for nested-loop candidate lists
+}
 
-	// Phase 1: prehash the build side in parallel morsels. part[i] < 0
-	// marks a NULL equijoin key (never matches, left out of every bucket).
-	hashes := make([]uint64, len(right.Rows))
-	part := make([]int32, len(right.Rows))
-	forChunks(workers, len(right.Rows), probeMorsel, func(_, _, lo, hi int) {
+// buildJoinTable prehashes rows on cols into per-partition bucket maps,
+// using up to workers goroutines. Empty cols builds the nested-loop table
+// whose candidate list is every row.
+func buildJoinTable(workers int, rows []rel.Row, cols []int) *joinTable {
+	t := &joinTable{rows: rows, cols: cols}
+	if len(cols) == 0 {
+		t.all = make([]int32, len(rows))
+		for i := range t.all {
+			t.all[i] = int32(i)
+		}
+		return t
+	}
+	t.hashed = true
+	if workers < 1 {
+		workers = 1
+	}
+	t.nPart = uint64(workers)
+
+	// Phase 1: prehash in parallel morsels. part[i] < 0 marks a NULL
+	// equijoin key (never matches, left out of every bucket).
+	hashes := make([]uint64, len(rows))
+	part := make([]int32, len(rows))
+	forChunks(workers, len(rows), probeMorsel, func(_, _, lo, hi int) {
 		var buf []byte
 		for i := lo; i < hi; i++ {
-			r := right.Rows[i]
-			if anyNull(r, rightCols) {
+			r := rows[i]
+			if anyNull(r, cols) {
 				part[i] = -1
 				continue
 			}
 			var h uint64
-			h, buf = rel.HashRowCols(r, rightCols, buf)
+			h, buf = rel.HashRowCols(r, cols, buf)
 			hashes[i] = h
-			part[i] = int32(h % nPart)
+			part[i] = int32(h % t.nPart)
 		}
 	})
 
 	// Phase 2: each worker owns one partition and scans the prehash array
 	// in input order, so bucket lists keep ascending row indexes.
-	buckets := make([]map[uint64][]int32, nPart)
-	forChunks(workers, int(nPart), 1, func(_, p, _, _ int) {
+	t.buckets = make([]map[uint64][]int32, t.nPart)
+	forChunks(workers, int(t.nPart), 1, func(_, p, _, _ int) {
 		m := make(map[uint64][]int32)
 		for i, pi := range part {
 			if pi == int32(p) {
 				m[hashes[i]] = append(m[hashes[i]], int32(i))
 			}
 		}
-		buckets[p] = m
+		t.buckets[p] = m
 	})
+	return t
+}
 
-	// Phase 3: probe in morsels. Each morsel appends to its own output
-	// chunk; right-row match flags go to a per-worker bitmap.
-	outSchema := concat
-	if kind == algebra.SemiJoin || kind == algebra.AntiJoin {
-		outSchema = left.Schema
+// candidates returns the build-row indexes a probe row must be tested
+// against, threading the caller's hash scratch buffer through. A nil list
+// with a hashed table means the probe key is NULL or unmatched.
+func (t *joinTable) candidates(l rel.Row, probeCols []int, buf []byte) ([]int32, []byte) {
+	if !t.hashed {
+		return t.all, buf
 	}
-	needMatchedRight := kind == algebra.RightOuterJoin || kind == algebra.FullOuterJoin
-	var workerMatched [][]bool
-	if needMatchedRight {
-		workerMatched = make([][]bool, workers)
+	if anyNull(l, probeCols) {
+		return nil, buf
 	}
-	nchunks := (len(left.Rows) + probeMorsel - 1) / probeMorsel
-	chunks := make([][]rel.Row, nchunks)
-	// Per-worker morsel tallies: each worker owns its slot during the probe
-	// phase and the totals publish to the registry once afterwards, so
-	// enabling metrics adds no synchronization to the probe loop.
-	var workerMorsels []int64
-	if metrics != nil {
-		workerMorsels = make([]int64, workers)
-	}
-	forChunks(workers, len(left.Rows), probeMorsel, func(w, ci, lo, hi int) {
-		if workerMorsels != nil {
-			workerMorsels[w]++
-		}
-		var buf []byte
-		rowBuf := make(rel.Row, len(left.Schema)+len(right.Schema))
-		var matchedRight []bool
-		if needMatchedRight {
-			if workerMatched[w] == nil {
-				workerMatched[w] = make([]bool, len(right.Rows))
-			}
-			matchedRight = workerMatched[w]
-		}
-		var out []rel.Row
-		if kind == algebra.LeftOuterJoin || kind == algebra.FullOuterJoin {
-			out = make([]rel.Row, 0, hi-lo)
-		}
-		for _, l := range left.Rows[lo:hi] {
-			matched := false
-			if !anyNull(l, leftCols) {
-				var h uint64
-				h, buf = rel.HashRowCols(l, leftCols, buf)
-				for _, idx := range buckets[h%nPart][h] {
-					r := right.Rows[idx]
-					copy(rowBuf, l)
-					copy(rowBuf[len(l):], r)
-					if pred(rowBuf) != algebra.True {
-						continue
-					}
-					matched = true
-					if matchedRight != nil {
-						matchedRight[idx] = true
-					}
-					switch kind {
-					case algebra.InnerJoin, algebra.LeftOuterJoin, algebra.RightOuterJoin, algebra.FullOuterJoin:
-						out = append(out, rowBuf.Clone())
-					}
-				}
-			}
-			switch kind {
-			case algebra.LeftOuterJoin, algebra.FullOuterJoin:
-				if !matched {
-					out = append(out, nullExtendRight(l, len(right.Schema)))
-				}
-			case algebra.SemiJoin:
-				if matched {
-					out = append(out, l)
-				}
-			case algebra.AntiJoin:
-				if !matched {
-					out = append(out, l)
-				}
-			}
-		}
-		chunks[ci] = out
-	})
-	for w, n := range workerMorsels {
-		if n > 0 {
-			metrics.Add(fmt.Sprintf("exec.morsels.worker.%d", w), n)
-			metrics.Add("exec.morsels.total", n)
-		}
-	}
+	var h uint64
+	h, buf = rel.HashRowCols(l, probeCols, buf)
+	return t.buckets[h%t.nPart][h], buf
+}
 
-	// Phase 4: concatenate chunks in morsel order, then emit unmatched
-	// right rows for right/full outer joins.
-	total := 0
-	for _, c := range chunks {
-		total += len(c)
-	}
-	res := Relation{Schema: outSchema, Rows: make([]rel.Row, 0, total)}
-	for _, c := range chunks {
-		res.Rows = append(res.Rows, c...)
-	}
-	if needMatchedRight {
-		for i, r := range right.Rows {
-			seen := false
-			for _, wm := range workerMatched {
-				if wm != nil && wm[i] {
-					seen = true
-					break
-				}
-			}
-			if !seen {
-				res.Rows = append(res.Rows, nullExtendLeft(r, len(left.Schema)))
-			}
+func anyNull(r rel.Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c].IsNull() {
+			return true
 		}
 	}
-	return res, nil
+	return false
 }

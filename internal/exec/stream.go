@@ -1,0 +1,695 @@
+package exec
+
+import (
+	"fmt"
+
+	"ojv/internal/algebra"
+	"ojv/internal/obs"
+	"ojv/internal/rel"
+)
+
+// This file compiles algebra expressions into pull-based batch pipelines
+// (see batch.go for the Source protocol) and implements every streaming
+// operator except joins (streamjoin.go) and grouped aggregation
+// (streamagg.go).
+//
+// Streaming vs blocking: scan, select, project, λ (null-if), δ (dedup),
+// pad, outer union and the probe side of every join are fully streaming —
+// they hold at most one batch (plus, for δ, the set of seen keys). The
+// subsumption-based operators (↓, ⊕, Condense) and group-by are blocking:
+// subsumption and aggregation are properties of the whole input, so they
+// buffer, transform once, and then emit in batches. Hash-join build sides
+// are materialized for the same reason (see streamjoin.go).
+
+// NewPipeline compiles an expression into a streaming operator pipeline.
+// The caller must Open the source, pull it with Next, and Close it on every
+// path once compilation succeeded. Eval wraps this into the materializing
+// compatibility interface.
+func NewPipeline(ctx *Context, e algebra.Expr) (Source, error) {
+	return build(ctx, e, ctx.span())
+}
+
+// span returns the parent span operator spans attach under (nil when
+// tracing is off or the caller did not provide one).
+func (c *Context) span() *obs.Span {
+	if c == nil {
+		return nil
+	}
+	return c.Span
+}
+
+// batchSize resolves the context's batch-size knob.
+func (c *Context) batchSize() int {
+	if c == nil || c.BatchSize <= 0 {
+		return DefaultBatchSize
+	}
+	return c.BatchSize
+}
+
+// opBase carries the state every operator shares: its output schema, its
+// span, and the row/batch tallies published at Close.
+type opBase struct {
+	schema  rel.Schema
+	span    *obs.Span
+	rows    int64
+	batches int64
+	closed  bool
+}
+
+func (o *opBase) Schema() rel.Schema { return o.schema }
+
+// observe tallies one emitted batch.
+func (o *opBase) observe(b *Batch) {
+	if b.Len() == 0 {
+		return
+	}
+	o.rows += int64(b.Len())
+	o.batches++
+}
+
+// finish ends the operator's span exactly once.
+func (o *opBase) finish() {
+	if !o.closed {
+		o.closed = true
+		endSpan(o.span, o.rows, o.batches)
+	}
+}
+
+// build compiles one node. parent is the span operator spans nest under.
+func build(ctx *Context, e algebra.Expr, parent *obs.Span) (Source, error) {
+	switch n := e.(type) {
+	case *algebra.TableRef:
+		t := ctx.Catalog.Table(n.Name)
+		if t == nil {
+			return nil, fmt.Errorf("exec: unknown table %s", n.Name)
+		}
+		sp := opSpan(parent, "exec.scan").SetStr("table", n.Name)
+		return &scanSource{
+			opBase:  opBase{schema: t.Schema(), span: sp},
+			ctx:     ctx,
+			fetch:   func() ([]rel.Row, error) { return t.Rows(), nil },
+			counted: true,
+		}, nil
+
+	case *algebra.DeltaRef:
+		t := ctx.Catalog.Table(n.Name)
+		if t == nil {
+			return nil, fmt.Errorf("exec: unknown table %s", n.Name)
+		}
+		sp := opSpan(parent, "exec.scan").SetStr("table", "Δ"+n.Name)
+		return &scanSource{
+			opBase:  opBase{schema: t.Schema(), span: sp},
+			ctx:     ctx,
+			fetch:   func() ([]rel.Row, error) { return ctx.Deltas[n.Name], nil },
+			counted: true,
+		}, nil
+
+	case *algebra.OldTableRef:
+		return buildOldScan(ctx, n.Name, parent)
+
+	case *algebra.RelRef:
+		r, ok := ctx.Rels[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("exec: unbound relation %s", n.Name)
+		}
+		sp := opSpan(parent, "exec.scan").SetStr("table", n.Name)
+		return &scanSource{
+			opBase: opBase{schema: r.Schema, span: sp},
+			ctx:    ctx,
+			fetch:  func() ([]rel.Row, error) { return r.Rows, nil },
+		}, nil
+
+	case *algebra.Select:
+		sp := opSpan(parent, "exec.select")
+		in, err := build(ctx, n.Input, sp)
+		if err != nil {
+			return nil, err
+		}
+		f, err := n.Pred.Compile(in.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return &selectSource{opBase: opBase{schema: in.Schema(), span: sp}, in: in, pred: f}, nil
+
+	case *algebra.Project:
+		sp := opSpan(parent, "exec.project")
+		in, err := build(ctx, n.Input, sp)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]int, len(n.Cols))
+		for i, c := range n.Cols {
+			p := in.Schema().IndexOf(c.Table, c.Column)
+			if p < 0 {
+				return nil, fmt.Errorf("exec: projected column %s not in %s", c, in.Schema())
+			}
+			cols[i] = p
+		}
+		return &projectSource{
+			opBase: opBase{schema: in.Schema().Project(cols), span: sp},
+			in:     in, cols: cols,
+		}, nil
+
+	case *algebra.Join:
+		return buildJoin(ctx, n, parent)
+
+	case *algebra.OuterUnion:
+		_, src, err := buildUnion(ctx, n.Inputs, parent)
+		return src, err
+
+	case *algebra.MinUnion:
+		sp := opSpan(parent, "exec.minunion")
+		schema, union, err := buildUnion(ctx, n.Inputs, sp)
+		if err != nil {
+			return nil, err
+		}
+		return &blockingSource{
+			opBase: opBase{schema: schema, span: sp},
+			ctx:    ctx, in: union,
+			transform: func(rows []rel.Row) ([]rel.Row, error) {
+				ctx.Metrics.Add("exec.condense.rows", int64(len(rows)))
+				return removeSubsumed(rows), nil
+			},
+		}, nil
+
+	case *algebra.RemoveSubsumed:
+		sp := opSpan(parent, "exec.condense")
+		in, err := build(ctx, n.Input, sp)
+		if err != nil {
+			return nil, err
+		}
+		return &blockingSource{
+			opBase: opBase{schema: in.Schema(), span: sp},
+			ctx:    ctx, in: in,
+			transform: func(rows []rel.Row) ([]rel.Row, error) {
+				ctx.Metrics.Add("exec.condense.rows", int64(len(rows)))
+				return removeSubsumed(rows), nil
+			},
+		}, nil
+
+	case *algebra.Dedup:
+		sp := opSpan(parent, "exec.dedup")
+		in, err := build(ctx, n.Input, sp)
+		if err != nil {
+			return nil, err
+		}
+		return &dedupSource{opBase: opBase{schema: in.Schema(), span: sp}, ctx: ctx, in: in}, nil
+
+	case *algebra.NullIf:
+		return buildNullIf(ctx, n, parent)
+
+	case *algebra.Condense:
+		return buildCondense(ctx, n, parent)
+
+	case *algebra.Pad:
+		sp := opSpan(parent, "exec.pad")
+		in, err := build(ctx, n.Input, sp)
+		if err != nil {
+			return nil, err
+		}
+		outSchema, err := algebra.SchemaOf(n, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &padSource{opBase: opBase{schema: outSchema, span: sp}, in: in}, nil
+
+	case *algebra.GroupBy:
+		return buildGroupBy(ctx, n, parent)
+
+	default:
+		return nil, fmt.Errorf("exec: unknown node %T", e)
+	}
+}
+
+// scanSource streams a row slice obtained once at Open: a base-table
+// snapshot, a bound delta or relation, or a reconstructed old table state.
+// An optional keep filter drops rows during emission (the old-state
+// insert case excludes freshly inserted keys without building the filtered
+// slice).
+type scanSource struct {
+	opBase
+	ctx     *Context
+	fetch   func() ([]rel.Row, error)
+	keep    func(rel.Row) bool
+	counted bool // publish emitted rows to exec.rows.scanned
+
+	rows []rel.Row
+	pos  int
+}
+
+func (s *scanSource) Open() error {
+	rows, err := s.fetch()
+	if err != nil {
+		return err
+	}
+	s.rows = rows
+	return nil
+}
+
+func (s *scanSource) Next(b *Batch) (bool, error) {
+	b.Reset()
+	limit := s.ctx.batchSize()
+	for s.pos < len(s.rows) && b.Len() < limit {
+		r := s.rows[s.pos]
+		s.pos++
+		if s.keep != nil && !s.keep(r) {
+			continue
+		}
+		b.Append(r)
+	}
+	if b.Len() == 0 && s.pos >= len(s.rows) {
+		return false, nil
+	}
+	if s.counted {
+		s.ctx.Metrics.Add("exec.rows.scanned", int64(b.Len()))
+	}
+	s.observe(b)
+	return true, nil
+}
+
+func (s *scanSource) Close() error {
+	s.rows = nil
+	s.finish()
+	return nil
+}
+
+// buildOldScan streams the pre-update state of a table: the current
+// contents minus the inserted delta, or plus the deleted delta. This is how
+// the paper's T± ⋉la_eq(T) ΔT (insertions) and T± + ΔT (deletions) are
+// realized, without materializing the reconstructed state.
+func buildOldScan(ctx *Context, name string, parent *obs.Span) (Source, error) {
+	t := ctx.Catalog.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("exec: unknown table %s", name)
+	}
+	sp := opSpan(parent, "exec.scan").SetStr("table", name+"±")
+	s := &scanSource{
+		opBase:  opBase{schema: t.Schema(), span: sp},
+		ctx:     ctx,
+		counted: true,
+	}
+	s.fetch = func() ([]rel.Row, error) {
+		delta := ctx.Deltas[name]
+		if len(delta) == 0 {
+			return t.Rows(), nil
+		}
+		if ctx.DeltaIsInsert {
+			deleted := make(map[string]bool, len(delta))
+			for _, d := range delta {
+				deleted[t.KeyOf(d)] = true
+			}
+			s.keep = func(r rel.Row) bool { return !deleted[t.KeyOf(r)] }
+			return t.Rows(), nil
+		}
+		return append(t.Rows(), delta...), nil
+	}
+	return s, nil
+}
+
+// selectSource filters batches in place: it pulls the input into the
+// caller's batch and compacts the surviving rows, allocating nothing.
+type selectSource struct {
+	opBase
+	in   Source
+	pred func(rel.Row) algebra.Tri
+}
+
+func (s *selectSource) Open() error { return s.in.Open() }
+
+func (s *selectSource) Next(b *Batch) (bool, error) {
+	for {
+		ok, err := s.in.Next(b)
+		if err != nil || !ok {
+			return false, err
+		}
+		kept := b.Rows[:0]
+		for _, r := range b.Rows {
+			if s.pred(r) == algebra.True {
+				kept = append(kept, r)
+			}
+		}
+		b.Rows = kept
+		if b.Len() > 0 {
+			s.observe(b)
+			return true, nil
+		}
+	}
+}
+
+func (s *selectSource) Close() error {
+	err := s.in.Close()
+	s.finish()
+	return err
+}
+
+// projectSource rewrites each row of the caller's batch to the projected
+// column set (one fresh row per input row, as projection narrows the row).
+type projectSource struct {
+	opBase
+	in   Source
+	cols []int
+}
+
+func (s *projectSource) Open() error { return s.in.Open() }
+
+func (s *projectSource) Next(b *Batch) (bool, error) {
+	ok, err := s.in.Next(b)
+	if err != nil || !ok {
+		return false, err
+	}
+	for i, r := range b.Rows {
+		b.Rows[i] = r.Project(s.cols)
+	}
+	s.observe(b)
+	return true, nil
+}
+
+func (s *projectSource) Close() error {
+	err := s.in.Close()
+	s.finish()
+	return err
+}
+
+// buildNullIf compiles the λ operator: rows failing the Unless predicate
+// get the null-table columns cleared on a fresh copy; passing rows stream
+// through untouched.
+func buildNullIf(ctx *Context, n *algebra.NullIf, parent *obs.Span) (Source, error) {
+	sp := opSpan(parent, "exec.lambda")
+	in, err := build(ctx, n.Input, sp)
+	if err != nil {
+		return nil, err
+	}
+	f, err := n.Unless.Compile(in.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var nullCols []int
+	for _, t := range n.NullTables {
+		nullCols = append(nullCols, in.Schema().TableColumns(t)...)
+	}
+	return &nullIfSource{
+		opBase: opBase{schema: in.Schema(), span: sp},
+		ctx:    ctx, in: in, pred: f, nullCols: nullCols,
+	}, nil
+}
+
+type nullIfSource struct {
+	opBase
+	ctx      *Context
+	in       Source
+	pred     func(rel.Row) algebra.Tri
+	nullCols []int
+}
+
+func (s *nullIfSource) Open() error { return s.in.Open() }
+
+func (s *nullIfSource) Next(b *Batch) (bool, error) {
+	ok, err := s.in.Next(b)
+	if err != nil || !ok {
+		return false, err
+	}
+	for i, r := range b.Rows {
+		if s.pred(r) == algebra.True {
+			continue
+		}
+		nr := r.Clone()
+		for _, c := range s.nullCols {
+			nr[c] = rel.Null
+		}
+		b.Rows[i] = nr
+	}
+	s.ctx.Metrics.Add("exec.lambda.rows", int64(b.Len()))
+	s.observe(b)
+	return true, nil
+}
+
+func (s *nullIfSource) Close() error {
+	err := s.in.Close()
+	s.finish()
+	return err
+}
+
+// dedupSource streams δ: the first occurrence of each row passes, later
+// duplicates are dropped. Only the encoded keys of seen rows are retained.
+type dedupSource struct {
+	opBase
+	ctx  *Context
+	in   Source
+	seen map[string]bool
+}
+
+func (s *dedupSource) Open() error {
+	s.seen = make(map[string]bool)
+	return s.in.Open()
+}
+
+func (s *dedupSource) Next(b *Batch) (bool, error) {
+	for {
+		ok, err := s.in.Next(b)
+		if err != nil || !ok {
+			return false, err
+		}
+		s.ctx.Metrics.Add("exec.condense.rows", int64(b.Len()))
+		kept := b.Rows[:0]
+		for _, r := range b.Rows {
+			k := rel.EncodeValues(r...)
+			if !s.seen[k] {
+				s.seen[k] = true
+				kept = append(kept, r)
+			}
+		}
+		b.Rows = kept
+		if b.Len() > 0 {
+			s.observe(b)
+			return true, nil
+		}
+	}
+}
+
+func (s *dedupSource) Close() error {
+	err := s.in.Close()
+	s.seen = nil
+	s.finish()
+	return err
+}
+
+// padSource widens each row to the padded schema; the appended columns are
+// the zero Value, i.e. NULL.
+type padSource struct {
+	opBase
+	in Source
+}
+
+func (s *padSource) Open() error { return s.in.Open() }
+
+func (s *padSource) Next(b *Batch) (bool, error) {
+	ok, err := s.in.Next(b)
+	if err != nil || !ok {
+		return false, err
+	}
+	width := len(s.schema)
+	for i, r := range b.Rows {
+		pr := make(rel.Row, width)
+		copy(pr, r)
+		b.Rows[i] = pr
+	}
+	s.observe(b)
+	return true, nil
+}
+
+func (s *padSource) Close() error {
+	err := s.in.Close()
+	s.finish()
+	return err
+}
+
+// buildUnion compiles the inputs of an outer union and returns the union
+// schema plus a source streaming the inputs in sequence, padded into the
+// union schema. Inputs whose schema already equals the union schema stream
+// through without per-row copies.
+func buildUnion(ctx *Context, inputs []algebra.Expr, parent *obs.Span) (rel.Schema, Source, error) {
+	sp := opSpan(parent, "exec.union")
+	ins := make([]Source, len(inputs))
+	var schema rel.Schema
+	for i, e := range inputs {
+		src, err := build(ctx, e, sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		ins[i] = src
+		if i == 0 {
+			schema = src.Schema()
+		} else {
+			schema = schema.Union(src.Schema())
+		}
+	}
+	mappings := make([][]int, len(ins))
+	for i, src := range ins {
+		in := src.Schema()
+		identity := len(in) == len(schema)
+		mapping := make([]int, len(in))
+		for j, c := range in {
+			mapping[j] = schema.MustIndexOf(c.Table, c.Name)
+			if mapping[j] != j {
+				identity = false
+			}
+		}
+		if !identity {
+			mappings[i] = mapping
+		}
+	}
+	return schema, &unionSource{
+		opBase:   opBase{schema: schema, span: sp},
+		ins:      ins,
+		mappings: mappings,
+	}, nil
+}
+
+type unionSource struct {
+	opBase
+	ins      []Source
+	mappings [][]int // nil entry: input schema == union schema, no padding
+	cur      int
+}
+
+func (s *unionSource) Open() error {
+	for _, in := range s.ins {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *unionSource) Next(b *Batch) (bool, error) {
+	for s.cur < len(s.ins) {
+		ok, err := s.ins[s.cur].Next(b)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			s.cur++
+			continue
+		}
+		if mapping := s.mappings[s.cur]; mapping != nil {
+			width := len(s.schema)
+			for i, r := range b.Rows {
+				padded := make(rel.Row, width)
+				for j, v := range r {
+					padded[mapping[j]] = v
+				}
+				b.Rows[i] = padded
+			}
+		}
+		s.observe(b)
+		return true, nil
+	}
+	return false, nil
+}
+
+func (s *unionSource) Close() error {
+	var first error
+	for _, in := range s.ins {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.finish()
+	return first
+}
+
+// blockingSource buffers its whole input, applies one transform, and emits
+// the result in batches. It implements the pipeline-breaking operators
+// (↓ and ⊕), whose semantics are properties of the complete input.
+type blockingSource struct {
+	opBase
+	ctx       *Context
+	in        Source
+	transform func(rows []rel.Row) ([]rel.Row, error)
+
+	started bool
+	out     []rel.Row
+	pos     int
+}
+
+func (s *blockingSource) Open() error { return s.in.Open() }
+
+func (s *blockingSource) Next(b *Batch) (bool, error) {
+	if !s.started {
+		s.started = true
+		in, err := Drain(s.in)
+		if err != nil {
+			return false, err
+		}
+		if s.out, err = s.transform(in.Rows); err != nil {
+			return false, err
+		}
+	}
+	b.Reset()
+	limit := s.ctx.batchSize()
+	for s.pos < len(s.out) && b.Len() < limit {
+		b.Append(s.out[s.pos])
+		s.pos++
+	}
+	if b.Len() == 0 {
+		return false, nil
+	}
+	s.observe(b)
+	return true, nil
+}
+
+func (s *blockingSource) Close() error {
+	err := s.in.Close()
+	s.out = nil
+	s.finish()
+	return err
+}
+
+// buildCondense compiles the grouped condense: within each group key, ↓
+// then δ. Like the other subsumption operators it is blocking.
+func buildCondense(ctx *Context, n *algebra.Condense, parent *obs.Span) (Source, error) {
+	sp := opSpan(parent, "exec.condense")
+	in, err := build(ctx, n.Input, sp)
+	if err != nil {
+		return nil, err
+	}
+	keyCols := make([]int, len(n.GroupKey))
+	for i, c := range n.GroupKey {
+		p := in.Schema().IndexOf(c.Table, c.Column)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: condense key column %s not in %s", c, in.Schema())
+		}
+		keyCols[i] = p
+	}
+	return &blockingSource{
+		opBase: opBase{schema: in.Schema(), span: sp},
+		ctx:    ctx, in: in,
+		transform: func(rows []rel.Row) ([]rel.Row, error) {
+			out := condenseRows(rows, keyCols)
+			ctx.Metrics.Add("exec.condense.rows", int64(len(out)))
+			return out, nil
+		},
+	}, nil
+}
+
+// condenseRows applies ↓ then δ within each group (globally when keyCols is
+// empty), preserving first-seen group order.
+func condenseRows(rows []rel.Row, keyCols []int) []rel.Row {
+	if len(keyCols) == 0 {
+		return dedup(removeSubsumed(rows))
+	}
+	groups := make(map[string][]rel.Row)
+	var order []string
+	for _, r := range rows {
+		k := rel.EncodeRowCols(r, keyCols)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	var out []rel.Row
+	for _, k := range order {
+		out = append(out, dedup(removeSubsumed(groups[k]))...)
+	}
+	return out
+}

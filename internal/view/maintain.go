@@ -575,26 +575,48 @@ func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []
 	stats.DirectTerms = len(plan.graph.DirectTerms())
 	stats.IndirectTerms = len(plan.indirect)
 
-	// The eval span covers execution-context construction too.
+	// The eval span covers execution-context construction too; the executor
+	// attaches its per-operator pipeline spans beneath it.
 	evalSpan := span.Child("primary.eval")
 	ctx := &exec.Context{
 		Catalog:       m.def.cat,
 		Deltas:        map[string][]rel.Row{table: delta},
 		DeltaIsInsert: isInsert,
 		Parallelism:   m.opts.Parallelism,
+		BatchSize:     m.opts.BatchSize,
 		Metrics:       m.opts.Metrics,
+		Span:          evalSpan,
 	}
+	// The full-width primary delta is needed by aggregation, by the
+	// deletion-case view cleanup, and by from-base candidate computation.
+	// The insertion-case view cleanup and indirect-free plans read only the
+	// projected rows, so those paths stream the delta batch by batch and
+	// project each batch straight to the output schema — the wide
+	// intermediate never materializes.
+	useView := m.opts.Strategy != StrategyFromBase
+	needPrimary := m.agg != nil || (len(plan.indirect) > 0 && !(useView && isInsert))
 	var primary exec.Relation
+	var projected []rel.Row
+	primaryRows := 0
 	if plan.primary != nil {
-		primary, err = exec.Eval(ctx, plan.primary)
-		if err != nil {
-			evalSpan.End()
-			return nil, err
+		if needPrimary {
+			primary, err = exec.Eval(ctx, plan.primary)
+			if err != nil {
+				evalSpan.End()
+				return nil, err
+			}
+			primaryRows = len(primary.Rows)
+		} else {
+			projected, primaryRows, err = m.streamProjected(ctx, plan.primary)
+			if err != nil {
+				evalSpan.End()
+				return nil, err
+			}
 		}
 	}
-	evalSpan.SetInt("rows", int64(len(primary.Rows)))
+	evalSpan.SetInt("rows", int64(primaryRows))
 	evalSpan.End()
-	stats.PrimaryRows = len(primary.Rows)
+	stats.PrimaryRows = primaryRows
 
 	if m.agg != nil {
 		return stats, m.applyAgg(cs, span, ctx, plan, primary, isInsert, stats)
@@ -602,10 +624,12 @@ func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []
 
 	// Step 1: apply the primary delta to the view.
 	applySpan := span.Child("primary.apply")
-	projected, err := projectToOutput(primary, m.def, m.mv.schema)
-	if err != nil {
-		applySpan.End()
-		return nil, err
+	if needPrimary {
+		projected, err = projectToOutput(primary, m.def, m.mv.schema)
+		if err != nil {
+			applySpan.End()
+			return nil, err
+		}
 	}
 	if isInsert {
 		for _, row := range projected {
@@ -634,7 +658,6 @@ func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []
 	if len(plan.indirect) == 0 {
 		return stats, nil
 	}
-	useView := m.opts.Strategy != StrategyFromBase
 	sec := span.Child("secondary")
 	defer sec.End()
 	if useView && isInsert {
@@ -696,6 +719,45 @@ func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []
 	}
 	sec.SetInt("rows", int64(stats.SecondaryRows))
 	return stats, nil
+}
+
+// streamProjected evaluates the primary delta as a batch pipeline,
+// projecting every batch straight to the view's output schema: only the
+// projected rows accumulate, the full-width delta relation never exists.
+func (m *Maintainer) streamProjected(ctx *exec.Context, e algebra.Expr) ([]rel.Row, int, error) {
+	src, err := exec.NewPipeline(ctx, e)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := src.Open(); err != nil {
+		src.Close()
+		return nil, 0, err
+	}
+	schema := src.Schema()
+	var projected []rel.Row
+	total := 0
+	var b exec.Batch
+	for {
+		ok, err := src.Next(&b)
+		if err != nil {
+			src.Close()
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		total += b.Len()
+		rows, err := projectToOutput(exec.Relation{Schema: schema, Rows: b.Rows}, m.def, m.mv.schema)
+		if err != nil {
+			src.Close()
+			return nil, 0, err
+		}
+		projected = append(projected, rows...)
+	}
+	if err := src.Close(); err != nil {
+		return nil, 0, err
+	}
+	return projected, total, nil
 }
 
 // workers resolves Options.Parallelism the same way exec.Context does:

@@ -187,6 +187,10 @@ func (m *Maintainer) secondaryCandidatesFromBase(ctx *exec.Context, ip *indirect
 
 	// Anti-join the candidates against every directly affected parent's
 	// E'ip: a candidate survives only if no parent evidence contains it.
+	// Each anti-join is consumed as a batch pipeline: the candidates stream
+	// through the probe side (a candidate is dismissed at its first
+	// matching evidence row), and a parent that eliminates every candidate
+	// short-circuits the remaining parents entirely.
 	for _, pb := range ip.parents {
 		expr := pb.exprDelete
 		if isInsert {
@@ -204,12 +208,33 @@ func (m *Maintainer) secondaryCandidatesFromBase(ctx *exec.Context, ip *indirect
 			DeltaIsInsert: ctx.DeltaIsInsert,
 			Rels:          map[string]exec.Relation{"__cand": cand},
 			Parallelism:   ctx.Parallelism,
+			BatchSize:     ctx.BatchSize,
 		}
-		out, err := exec.Eval(sub, anti)
+		src, err := exec.NewPipeline(sub, anti)
 		if err != nil {
 			return exec.Relation{}, err
 		}
-		cand = out
+		if err := src.Open(); err != nil {
+			src.Close()
+			return exec.Relation{}, err
+		}
+		next := exec.Relation{Schema: src.Schema()}
+		var b exec.Batch
+		for {
+			ok, nerr := src.Next(&b)
+			if nerr != nil {
+				src.Close()
+				return exec.Relation{}, nerr
+			}
+			if !ok {
+				break
+			}
+			next.Rows = append(next.Rows, b.Rows...)
+		}
+		if err := src.Close(); err != nil {
+			return exec.Relation{}, err
+		}
+		cand = next
 		if len(cand.Rows) == 0 {
 			break
 		}
