@@ -1,0 +1,521 @@
+package ojv_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ojv"
+)
+
+// viewFingerprint renders a view's rows sorted, for state comparison.
+func viewFingerprint(v *ojv.View) string {
+	rows := v.Rows()
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+// TestBatchEquivalence drives the same statement sequence through a
+// WriteBatch and through the synchronous facade and requires bit-identical
+// final view state.
+func TestBatchEquivalence(t *testing.T) {
+	dbSync := newShopDB(t)
+	vSync := shopView(t, dbSync)
+	dbBat := newShopDB(t)
+	vBat := shopView(t, dbBat)
+	wb := dbBat.NewWriteBatch()
+
+	type stmt struct {
+		run func(ins func(string, []ojv.Row) error,
+			del func(string, [][]ojv.Value) ([]ojv.Row, error),
+			upd func(string, []ojv.Value, ojv.Row) error) error
+	}
+	stmts := []stmt{
+		{func(ins func(string, []ojv.Row) error, _ func(string, [][]ojv.Value) ([]ojv.Row, error), _ func(string, []ojv.Value, ojv.Row) error) error {
+			return ins("orders", []ojv.Row{{ojv.Int(12), ojv.Int(3), ojv.Float(75), ojv.MustDate("2007-04-17")}})
+		}},
+		{func(ins func(string, []ojv.Row) error, _ func(string, [][]ojv.Value) ([]ojv.Row, error), _ func(string, []ojv.Value, ojv.Row) error) error {
+			return ins("lineitem", []ojv.Row{{ojv.Int(12), ojv.Int(1), ojv.Int(4)}, {ojv.Int(12), ojv.Int(2), ojv.Int(5)}})
+		}},
+		{func(_ func(string, []ojv.Row) error, _ func(string, [][]ojv.Value) ([]ojv.Row, error), upd func(string, []ojv.Value, ojv.Row) error) error {
+			return upd("orders", []ojv.Value{ojv.Int(12)}, ojv.Row{ojv.Int(12), ojv.Int(3), ojv.Float(99), ojv.MustDate("2007-04-18")})
+		}},
+		{func(_ func(string, []ojv.Row) error, del func(string, [][]ojv.Value) ([]ojv.Row, error), _ func(string, []ojv.Value, ojv.Row) error) error {
+			_, err := del("lineitem", [][]ojv.Value{{ojv.Int(12), ojv.Int(2)}})
+			return err
+		}},
+		{func(_ func(string, []ojv.Row) error, _ func(string, [][]ojv.Value) ([]ojv.Row, error), upd func(string, []ojv.Value, ojv.Row) error) error {
+			return upd("orders", []ojv.Value{ojv.Int(11)}, ojv.Row{ojv.Int(11), ojv.Int(2), ojv.Float(51), ojv.MustDate("2007-04-16")})
+		}},
+	}
+	for i, s := range stmts {
+		if err := s.run(dbSync.Insert, dbSync.Delete, dbSync.Update); err != nil {
+			t.Fatalf("sync stmt %d: %v", i, err)
+		}
+		if err := s.run(wb.Insert, wb.Delete, wb.Update); err != nil {
+			t.Fatalf("batch stmt %d: %v", i, err)
+		}
+	}
+	// Pending statements are invisible under ReadCommitted.
+	if got, want := vBat.Len(), len(shopViewRowsBefore(t)); wb.PendingStatements() != len(stmts) || got != want {
+		t.Fatalf("pending=%d viewLen=%d want %d (pre-flush reads must see committed state)",
+			wb.PendingStatements(), got, want)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := viewFingerprint(vBat), viewFingerprint(vSync); got != want {
+		t.Errorf("batched state differs from synchronous state\n--- batch ---\n%s\n--- sync ---\n%s", got, want)
+	}
+	if err := vBat.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// shopViewRowsBefore returns the shop view's row count on a fresh fixture,
+// i.e. the committed state before any batch statement.
+func shopViewRowsBefore(t *testing.T) []ojv.Row {
+	db := newShopDB(t)
+	return shopView(t, db).Rows()
+}
+
+// TestBatchDeleteReturnsRows is the Delete-asymmetry regression test: the
+// batch path returns deleted rows at enqueue, without a maintenance run,
+// including rows only staged (never committed) by the same batch.
+func TestBatchDeleteReturnsRows(t *testing.T) {
+	db := newShopDB(t)
+	v := shopView(t, db)
+	wb := db.NewWriteBatch()
+
+	// Committed row: resolved from the base table.
+	rows, err := wb.Delete("lineitem", [][]ojv.Value{{ojv.Int(10), ojv.Int(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Equal(ojv.Row{ojv.Int(10), ojv.Int(1), ojv.Int(3)}) {
+		t.Fatalf("deleted committed row = %v", rows)
+	}
+	// No flush happened: the view still contains the row's join results.
+	if wb.PendingStatements() != 1 {
+		t.Fatalf("delete forced a flush (pending=%d)", wb.PendingStatements())
+	}
+	// Pending-inserted row: resolved from the overlay.
+	if err := wb.Insert("lineitem", []ojv.Row{{ojv.Int(11), ojv.Int(9), ojv.Int(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = wb.Delete("lineitem", [][]ojv.Value{{ojv.Int(11), ojv.Int(9)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Equal(ojv.Row{ojv.Int(11), ojv.Int(9), ojv.Int(7)}) {
+		t.Fatalf("deleted staged row = %v", rows)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchReadYourWrites pins the read semantics: Get merges the overlay,
+// Rows honours the ReadPolicy.
+func TestBatchReadYourWrites(t *testing.T) {
+	db := newShopDB(t)
+	shopView(t, db)
+	wb := db.NewWriteBatch(ojv.BatchOptions{ReadPolicy: ojv.ReadFlush})
+	if err := wb.Insert("customer", []ojv.Row{{ojv.Int(9), ojv.Str("eve")}}); err != nil {
+		t.Fatal(err)
+	}
+	if row, ok, err := wb.Get("customer", []ojv.Value{ojv.Int(9)}); err != nil || !ok || !row.Equal(ojv.Row{ojv.Int(9), ojv.Str("eve")}) {
+		t.Fatalf("Get staged row = %v %v %v", row, ok, err)
+	}
+	rows, err := wb.Rows("shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReadFlush flushed: eve's null-extended tuple is in the view.
+	found := false
+	for _, r := range rows {
+		if r[0].Equal(ojv.Int(9)) {
+			found = true
+		}
+	}
+	if !found || wb.PendingStatements() != 0 {
+		t.Fatalf("ReadFlush did not flush (pending=%d, found=%v)", wb.PendingStatements(), found)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchThresholdFlush exercises the FlushRows auto-flush policy.
+func TestBatchThresholdFlush(t *testing.T) {
+	db := newShopDB(t)
+	v := shopView(t, db)
+	m := ojv.NewMetrics()
+	wb := db.NewWriteBatch(ojv.BatchOptions{FlushRows: 10, Metrics: m})
+	for i := int64(0); i < 25; i++ {
+		if err := wb.Insert("customer", []ojv.Row{{ojv.Int(100 + i), ojv.Str("c")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := wb.PendingRows(); got != 5 {
+		t.Fatalf("pending after threshold flushes = %d, want 5", got)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap["view.flush.count"] != 3 {
+		t.Errorf("flush count = %d, want 3 (2 threshold + 1 close)", snap["view.flush.count"])
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchBackgroundFlusher verifies the time-bound flush policy drains
+// the queue without explicit Flush calls.
+func TestBatchBackgroundFlusher(t *testing.T) {
+	db := newShopDB(t)
+	v := shopView(t, db)
+	wb := db.NewWriteBatch(ojv.BatchOptions{FlushInterval: 5 * time.Millisecond})
+	if err := wb.Insert("customer", []ojv.Row{{ojv.Int(9), ojv.Str("eve")}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for wb.PendingStatements() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never drained the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchPoisonedFlush injects a maintenance fault at flush and checks
+// the contract: state unchanged, pending statements preserved, sticky Err,
+// successful retry after the fault clears, Discard drops everything.
+func TestBatchPoisonedFlush(t *testing.T) {
+	db := newShopDB(t)
+	var failing bool
+	v, err := db.CreateView("shop",
+		ojv.Table("customer").LeftJoin(ojv.Table("orders"), ojv.Eq("customer", "ck", "orders", "ock")),
+		ojv.Columns("customer.ck", "customer.name", "orders.ok", "orders.total"),
+		ojv.Options{FailPoint: func(site string) error {
+			if failing {
+				return errors.New("injected fault at " + site)
+			}
+			return nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := viewFingerprint(v)
+
+	wb := db.NewWriteBatch(ojv.BatchOptions{FlushRows: 1})
+	failing = true
+	err = wb.Insert("customer", []ojv.Row{{ojv.Int(9), ojv.Str("eve")}})
+	if err == nil || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("threshold flush err = %v", err)
+	}
+	if wb.Err() == nil {
+		t.Fatal("Err not sticky after failed flush")
+	}
+	if wb.PendingStatements() != 1 {
+		t.Fatalf("pending = %d after failed flush, want 1 (queue preserved)", wb.PendingStatements())
+	}
+	if got := viewFingerprint(v); got != before {
+		t.Fatal("failed flush changed the view")
+	}
+	// Auto-flush is suspended while poisoned: further statements stage quietly.
+	if err := wb.Insert("customer", []ojv.Row{{ojv.Int(10), ojv.Str("fin")}}); err != nil {
+		t.Fatal(err)
+	}
+	if wb.PendingStatements() != 2 {
+		t.Fatalf("pending = %d, want 2", wb.PendingStatements())
+	}
+	// Retry succeeds once the fault clears and clears Err.
+	failing = false
+	if err := wb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Err() != nil || wb.PendingStatements() != 0 {
+		t.Fatalf("after retry: err=%v pending=%d", wb.Err(), wb.PendingStatements())
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Discard drops pending statements and the error.
+	failing = true
+	if err := wb.Insert("customer", []ojv.Row{{ojv.Int(11), ojv.Str("gus")}}); err == nil {
+		t.Fatal("expected injected fault")
+	}
+	wb.Discard()
+	if wb.Err() != nil || wb.PendingStatements() != 0 {
+		t.Fatalf("after discard: err=%v pending=%d", wb.Err(), wb.PendingStatements())
+	}
+	failing = false
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The discarded row must not exist.
+	if _, ok, _ := wb.Get("customer", []ojv.Value{ojv.Int(11)}); ok {
+		t.Fatal("discarded insert visible")
+	}
+}
+
+// TestBatchClosed checks statements against a closed batch fail cleanly.
+func TestBatchClosed(t *testing.T) {
+	db := newShopDB(t)
+	wb := db.NewWriteBatch()
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	if err := wb.Insert("customer", []ojv.Row{{ojv.Int(9), ojv.Str("x")}}); err == nil {
+		t.Fatal("insert on closed batch succeeded")
+	}
+}
+
+// TestBatchMetricsIdentity checks the accounting identity across flushes:
+// Σ staged rows = flushed rows + coalesced-away rows, against manually
+// counted expectations.
+func TestBatchMetricsIdentity(t *testing.T) {
+	db := newShopDB(t)
+	v := shopView(t, db)
+	m := ojv.NewMetrics()
+	wb := db.NewWriteBatch(ojv.BatchOptions{Metrics: m})
+
+	// 3 staged rows: insert(9), insert(10), delete(9) → annihilation leaves
+	// net 1, coalesced 2.
+	mustIns := func(k int64, name string) {
+		t.Helper()
+		if err := wb.Insert("customer", []ojv.Row{{ojv.Int(k), ojv.Str(name)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustIns(9, "eve")
+	mustIns(10, "fin")
+	if _, err := wb.Delete("customer", [][]ojv.Value{{ojv.Int(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	// 2 more staged rows: update(10) twice composes, coalesced +2 … net stays 1.
+	for i := 0; i < 2; i++ {
+		if err := wb.Update("customer", []ojv.Value{ojv.Int(10)}, ojv.Row{ojv.Int(10), ojv.Str(fmt.Sprintf("fin%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Second flush: a plain update, 1 staged, 1 flushed, 0 coalesced.
+	if err := wb.Update("customer", []ojv.Value{ojv.Int(1)}, ojv.Row{ojv.Int(1), ojv.Str("ada2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := m.Snapshot()
+	staged, flushed, coalesced := snap["view.flush.rows.staged"], snap["view.flush.rows.flushed"], snap["view.flush.rows.coalesced"]
+	if staged != 6 || flushed != 2 || coalesced != 4 {
+		t.Errorf("accounting: staged=%d flushed=%d coalesced=%d, want 6/2/4", staged, flushed, coalesced)
+	}
+	if staged != flushed+coalesced {
+		t.Errorf("identity violated: %d != %d + %d", staged, flushed, coalesced)
+	}
+	if snap["view.flush.count"] != 2 || snap["view.flush.statements"] != 6 {
+		t.Errorf("flush.count=%d statements=%d, want 2/6", snap["view.flush.count"], snap["view.flush.statements"])
+	}
+	if snap["view.flush.size.count"] != 2 || snap["view.flush.latency.us.count"] != 2 {
+		t.Errorf("histograms: size.count=%d latency.count=%d, want 2/2",
+			snap["view.flush.size.count"], snap["view.flush.latency.us.count"])
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchConcurrentWriters hammers one batch from 8 goroutines over
+// disjoint key ranges with both auto-flush policies active, then verifies
+// exact final contents. Run under -race in CI's race-pipeline job.
+func TestBatchConcurrentWriters(t *testing.T) {
+	db := newShopDB(t)
+	v := shopView(t, db)
+	wb := db.NewWriteBatch(ojv.BatchOptions{FlushRows: 64, FlushInterval: time.Millisecond})
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(1000 + w*perWriter)
+			for i := int64(0); i < perWriter; i++ {
+				k := base + i
+				if err := wb.Insert("customer", []ojv.Row{{ojv.Int(k), ojv.Str("w")}}); err != nil {
+					errs <- err
+					return
+				}
+				if i%3 == 0 {
+					if err := wb.Update("customer", []ojv.Value{ojv.Int(k)}, ojv.Row{ojv.Int(k), ojv.Str("u")}); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if i%5 == 0 {
+					if _, err := wb.Delete("customer", [][]ojv.Value{{ojv.Int(k)}}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Exact survivor count: per writer, perWriter inserts minus the i%5==0
+	// deletions.
+	deleted := 0
+	for i := int64(0); i < perWriter; i++ {
+		if i%5 == 0 {
+			deleted++
+		}
+	}
+	want := writers * (perWriter - deleted)
+	got := 0
+	for i := 0; i < writers; i++ {
+		base := int64(1000 + i*perWriter)
+		for j := int64(0); j < perWriter; j++ {
+			if _, ok, err := wb.Get("customer", []ojv.Value{ojv.Int(base + j)}); err != nil {
+				t.Fatal(err)
+			} else if ok {
+				got++
+			}
+		}
+	}
+	if got != want {
+		t.Errorf("surviving rows = %d, want %d", got, want)
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchFallbackEquivalence interleaves synchronous statements with a
+// batch's enqueues. The interleaved writes move the catalog version, so
+// the flush must take the re-validating path (view.flush.prevalidated
+// stays 0) — and still produce the state the same statements yield when
+// run synchronously in flush order.
+func TestBatchFallbackEquivalence(t *testing.T) {
+	dbRef := newShopDB(t)
+	vRef := shopView(t, dbRef)
+	dbBat := newShopDB(t)
+	vBat := shopView(t, dbBat)
+
+	m := ojv.NewMetrics()
+	wb := dbBat.NewWriteBatch(ojv.BatchOptions{Metrics: m})
+	if err := wb.Insert("customer", []ojv.Row{{ojv.Int(8), ojv.Str("gus")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved synchronous write: invalidates the batch's fast path.
+	if err := dbBat.Insert("customer", []ojv.Row{{ojv.Int(9), ojv.Str("eve")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Update("customer", []ojv.Value{ojv.Int(2)}, ojv.Row{ojv.Int(2), ojv.Str("rob")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot()["view.flush.prevalidated"]; got != 0 {
+		t.Fatalf("flush used the prevalidated path %d times despite an interleaved write", got)
+	}
+
+	// Reference: the same statements, synchronously, in flush order
+	// (modify before insert, per the plan's phases).
+	if err := dbRef.Insert("customer", []ojv.Row{{ojv.Int(9), ojv.Str("eve")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbRef.Update("customer", []ojv.Value{ojv.Int(2)}, ojv.Row{ojv.Int(2), ojv.Str("rob")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbRef.Insert("customer", []ojv.Row{{ojv.Int(8), ojv.Str("gus")}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := viewFingerprint(vBat), viewFingerprint(vRef); got != want {
+		t.Error("fallback flush state differs from synchronous reference")
+	}
+	if err := vBat.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchStaleFKFailsAtFlush stages a child insert and then deletes its
+// parent. Enqueue validation cannot reject either statement (the parent
+// was visible when the insert was checked), so the flush must detect the
+// violation, fail atomically, and keep the statements pending.
+func TestBatchStaleFKFailsAtFlush(t *testing.T) {
+	db := newShopDB(t)
+	v := shopView(t, db)
+	before := viewFingerprint(v)
+
+	wb := db.NewWriteBatch()
+	// Order 11 (customer 2) has no lineitems, so its delete passes the
+	// committed-state RESTRICT check at enqueue and at flush.
+	if err := wb.Insert("lineitem", []ojv.Row{{ojv.Int(11), ojv.Int(1), ojv.Int(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wb.Delete("orders", [][]ojv.Value{{ojv.Int(11)}}); err != nil {
+		t.Fatal(err)
+	}
+	err := wb.Flush()
+	if err == nil {
+		t.Fatal("flush of a stale FK batch unexpectedly succeeded")
+	}
+	if wb.Err() == nil {
+		t.Fatal("failed flush did not stick in Err")
+	}
+	if got := viewFingerprint(v); got != before {
+		t.Error("failed flush changed the view")
+	}
+	if db.Catalog().Table("orders").Len() != 2 {
+		t.Error("failed flush changed the orders table")
+	}
+	if wb.PendingStatements() != 2 {
+		t.Errorf("pending statements = %d, want 2 (preserved for retry)", wb.PendingStatements())
+	}
+	wb.Discard()
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@
 //	ojbench -experiment fig5b
 //	ojbench -experiment ablations
 //	ojbench -experiment scaling
+//	ojbench -experiment writes -writestmts 10000
 //	ojbench -experiment fig5a -trace trace.json -metrics   # observability
 //	ojbench -experiment fig5a -pprof localhost:6060
 package main
@@ -33,7 +34,8 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig5a | fig5b | ablations | scaling | all")
+	experiment := flag.String("experiment", "all", "table1 | fig5a | fig5b | ablations | scaling | writes | all")
+	writeStmts := flag.Int("writestmts", 10000, "statements in the -experiment writes stream")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (the paper runs SF=1)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	reps := flag.Int("reps", 3, "repetitions per measured point (median reported)")
@@ -76,6 +78,14 @@ func main() {
 	run("fig5b", func() error { return fig5(*sf, *seed, false) })
 	run("ablations", func() error { return ablations(*sf, *seed) })
 	run("scaling", func() error { return scaling() })
+	// The writes experiment measures the group-commit pipeline, not the
+	// paper's figures, so it only runs when requested by name.
+	if *experiment == "writes" {
+		if err := writes(*sf, *seed, *writeStmts); err != nil {
+			fmt.Fprintf(os.Stderr, "ojbench: writes: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if benchTracer != nil {
 		f, err := os.Create(*tracePath)
@@ -279,6 +289,30 @@ func ablations(sf float64, seed int64) error {
 			return err
 		}
 		fmt.Printf("  deltatree %-16s T-insert: %s\n", cfg.name, el.Round(10*time.Microsecond))
+	}
+	fmt.Println()
+	return nil
+}
+
+// writes measures the write-throughput trajectory of 1-row insert
+// statements: the synchronous per-statement path against the group-commit
+// pipeline at increasing flush thresholds. Every run's final view state is
+// verified bit-identical to the per-statement reference.
+func writes(sf float64, seed int64, statements int) error {
+	fmt.Printf("== Writes: %d 1-row lineitem inserts against V3, per-statement vs group commit (SF=%g) ==\n", statements, sf)
+	results, err := bench.RunWrites(sf, seed, statements, []int{1, 100, 1000, 10000}, benchReps)
+	if err != nil {
+		return err
+	}
+	emitBench("writes", results)
+	base := results[0].StmtsPerSec
+	fmt.Printf("%-14s %10s %14s %12s %12s %12s %12s %9s\n",
+		"mode", "batch", "stmts/sec", "speedup", "p50", "p95", "p99", "flushes")
+	for _, r := range results {
+		fmt.Printf("%-14s %10d %14.0f %11.1fx %12s %12s %12s %9d\n",
+			r.Mode, r.BatchSize, r.StmtsPerSec, r.StmtsPerSec/base,
+			r.P50.Round(10*time.Nanosecond), r.P95.Round(10*time.Nanosecond),
+			r.P99.Round(10*time.Nanosecond), r.Flushes)
 	}
 	fmt.Println()
 	return nil

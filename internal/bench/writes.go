@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"ojv"
+	"ojv/internal/rel"
+	"ojv/internal/tpch"
+)
+
+// WriteResult is one point of the write-throughput experiment: a fixed
+// stream of 1-row lineitem insert statements against the materialized V3,
+// driven either through the synchronous facade (Mode "per-statement", one
+// maintenance run per statement) or through a WriteBatch with a FlushRows
+// threshold (Mode "group-commit").
+type WriteResult struct {
+	Mode          string
+	BatchSize     int
+	Statements    int
+	Elapsed       time.Duration
+	StmtsPerSec   float64
+	P50, P95, P99 time.Duration
+	// Flushes counts maintenance runs (flushes for group-commit, statements
+	// for the per-statement reference).
+	Flushes int64
+	// FinalViewRows is the view cardinality after the stream, identical
+	// across modes by construction (and verified).
+	FinalViewRows int
+}
+
+// newWriteDB regenerates the TPC-H database (deterministic per sf/seed),
+// registers V3 through the facade, and fabricates the statement stream: n
+// foreign-key-valid lineitem rows. Regenerating per run keeps the stream
+// identical across modes, so final view states are comparable bit for bit.
+func newWriteDB(sf float64, seed int64, n int) (*ojv.Database, *ojv.View, []rel.Row, error) {
+	tdb, err := tpch.Generate(tpch.Config{ScaleFactor: sf, Seed: seed})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stream := tdb.NewLineitems(n)
+	db := ojv.WrapCatalog(tdb.Catalog)
+	v, err := db.CreateView("V3", ojv.ExprRel(tpch.V3Expr()), tpch.V3Output())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return db, v, stream, nil
+}
+
+// viewFingerprint renders the view rows sorted, for cross-mode identity
+// checks.
+func viewFingerprint(v *ojv.View) string {
+	rows := v.Rows()
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+// percentile returns the p-quantile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runWriteStream drives the stream one statement (one row) at a time
+// through stmt, timing each statement, then calls finish (the final queue
+// drain for group-commit modes) inside the timed window — without it a
+// large-threshold run would bank its whole maintenance bill outside the
+// clock.
+func runWriteStream(mode string, batchSize int, stream []rel.Row, stmt func(row rel.Row) error, finish func() error) (WriteResult, error) {
+	lat := make([]time.Duration, len(stream))
+	// GC fence: start every mode from a collected heap so the first-measured
+	// mode doesn't absorb the pauses of the fixture build.
+	runtime.GC()
+	t0 := time.Now()
+	for i, row := range stream {
+		s0 := time.Now()
+		if err := stmt(row); err != nil {
+			return WriteResult{}, err
+		}
+		lat[i] = time.Since(s0)
+	}
+	if finish != nil {
+		if err := finish(); err != nil {
+			return WriteResult{}, err
+		}
+	}
+	elapsed := time.Since(t0)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return WriteResult{
+		Mode:        mode,
+		BatchSize:   batchSize,
+		Statements:  len(stream),
+		Elapsed:     elapsed,
+		StmtsPerSec: float64(len(stream)) / elapsed.Seconds(),
+		P50:         percentile(lat, 0.50),
+		P95:         percentile(lat, 0.95),
+		P99:         percentile(lat, 0.99),
+	}, nil
+}
+
+// RunWrites measures the write-throughput trajectory: the per-statement
+// path as reference, then group commit at each batch size. Each point runs
+// reps times (median by elapsed); every run's final view state must be
+// bit-identical to the reference's and pass the maintenance oracle.
+func RunWrites(sf float64, seed int64, statements int, batchSizes []int, reps int) ([]WriteResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var results []WriteResult
+	var wantState string
+	wantRows := -1
+
+	medianRun := func(run func() (WriteResult, error)) (WriteResult, error) {
+		rs := make([]WriteResult, reps)
+		for i := range rs {
+			r, err := run()
+			if err != nil {
+				return WriteResult{}, err
+			}
+			rs[i] = r
+		}
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Elapsed < rs[j].Elapsed })
+		return rs[len(rs)/2], nil
+	}
+
+	// Warmup: one untimed per-statement pass on a scratch fixture, so the
+	// first measured mode doesn't pay the process's heap growth and page
+	// faults (at GOMAXPROCS=1 those dominate the tail of whichever mode
+	// happens to run first).
+	warm := statements / 4
+	if warm > 2000 {
+		warm = 2000
+	}
+	if warm > 0 {
+		db, _, stream, err := newWriteDB(sf, seed, warm)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range stream {
+			if err := db.Insert("lineitem", []ojv.Row{row}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Reference: one synchronous maintenance run per statement.
+	ref, err := medianRun(func() (WriteResult, error) {
+		db, v, stream, err := newWriteDB(sf, seed, statements)
+		if err != nil {
+			return WriteResult{}, err
+		}
+		r, err := runWriteStream("per-statement", 1, stream, func(row rel.Row) error {
+			return db.Insert("lineitem", []ojv.Row{row})
+		}, nil)
+		if err != nil {
+			return WriteResult{}, err
+		}
+		if err := v.Check(); err != nil {
+			return WriteResult{}, err
+		}
+		r.Flushes = int64(statements)
+		r.FinalViewRows = v.Len()
+		wantState = viewFingerprint(v)
+		wantRows = r.FinalViewRows
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, ref)
+
+	for _, bs := range batchSizes {
+		bs := bs
+		r, err := medianRun(func() (WriteResult, error) {
+			db, v, stream, err := newWriteDB(sf, seed, statements)
+			if err != nil {
+				return WriteResult{}, err
+			}
+			m := ojv.NewMetrics()
+			wb := db.NewWriteBatch(ojv.BatchOptions{FlushRows: bs, Metrics: m})
+			r, err := runWriteStream("group-commit", bs, stream, func(row rel.Row) error {
+				return wb.Insert("lineitem", []ojv.Row{row})
+			}, wb.Flush)
+			if err != nil {
+				return WriteResult{}, err
+			}
+			if err := wb.Close(); err != nil {
+				return WriteResult{}, err
+			}
+			if err := v.Check(); err != nil {
+				return WriteResult{}, err
+			}
+			if got := viewFingerprint(v); got != wantState {
+				return WriteResult{}, fmt.Errorf("bench: batch size %d: final view state differs from per-statement reference", bs)
+			}
+			r.Flushes = m.Snapshot()["view.flush.count"]
+			r.FinalViewRows = v.Len()
+			if r.FinalViewRows != wantRows {
+				return WriteResult{}, fmt.Errorf("bench: batch size %d: view rows %d != reference %d", bs, r.FinalViewRows, wantRows)
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

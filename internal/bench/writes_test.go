@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestRunWritesSmall smoke-tests the write-throughput harness on a small
+// stream; the harness itself verifies final-state identity between the
+// per-statement reference and every group-commit run.
+func TestRunWritesSmall(t *testing.T) {
+	results, err := RunWrites(0.002, 1, 100, []int{1, 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Statements != 100 || r.StmtsPerSec <= 0 || r.FinalViewRows <= 0 {
+			t.Errorf("degenerate result: %+v", r)
+		}
+	}
+	if results[0].Flushes != 100 {
+		t.Errorf("reference flushes = %d, want 100", results[0].Flushes)
+	}
+	// Group commit at threshold 50 must flush ~100/50 times, not per statement.
+	if g := results[2]; g.Flushes > 4 {
+		t.Errorf("batch-50 run flushed %d times, want ≤ 4", g.Flushes)
+	}
+}

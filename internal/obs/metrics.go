@@ -133,6 +133,15 @@ func (r *Registry) Add(name string, n int64) {
 	r.Counter(name).Add(n)
 }
 
+// Observe is a convenience for one-shot observations outside hot loops: it
+// resolves the named histogram and records v. Nil-safe.
+func (r *Registry) Observe(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.Histogram(name).Observe(v)
+}
+
 // Histogram returns the histogram with the given name, creating it on
 // first use. Returns nil (a valid no-op histogram) when the registry is
 // nil.

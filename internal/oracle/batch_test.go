@@ -1,0 +1,75 @@
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ojv/internal/view"
+)
+
+// TestBatchOracleShort is the always-on differential corpus for the
+// group-commit pipeline: mirrored statement streams with randomized flush
+// points, across both secondary-delta strategies.
+func TestBatchOracleShort(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for s := 0; s < seeds; s++ {
+		for _, strat := range []view.Strategy{view.StrategyFromView, view.StrategyFromBase} {
+			seed, strat := int64(s), strat
+			t.Run(fmt.Sprintf("seed=%d/strategy=%v", seed, strat), func(t *testing.T) {
+				t.Parallel()
+				if err := RunBatchSeed(seed, strat, 40, 15); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchFaultMatrix sweeps the crash-at-flush matrix: every failpoint
+// site a flush visits is forced to fail once, and each failure must leave
+// the database untouched with the batch intact, then recover to the
+// fault-free final state on retry.
+func TestBatchFaultMatrix(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		for _, strat := range []view.Strategy{view.StrategyFromView, view.StrategyFromBase} {
+			seed, strat := seed, strat
+			t.Run(fmt.Sprintf("seed=%d/strategy=%v", seed, strat), func(t *testing.T) {
+				t.Parallel()
+				sites, err := RunBatchFault(seed, strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sites == 0 {
+					t.Fatal("fault sweep covered no sites; the scenario flushed nothing")
+				}
+				t.Logf("swept %d failpoint sites", sites)
+			})
+		}
+	}
+}
+
+// TestBatchCorpusFull is the nightly batch corpus, gated like TestFullCorpus.
+func TestBatchCorpusFull(t *testing.T) {
+	if os.Getenv("OJV_ORACLE_CORPUS") != "full" {
+		t.Skip("set OJV_ORACLE_CORPUS=full to run the large corpus")
+	}
+	for s := 0; s < 100; s++ {
+		for _, strat := range []view.Strategy{view.StrategyFromView, view.StrategyFromBase} {
+			seed, strat := int64(20_000+s), strat
+			t.Run(fmt.Sprintf("seed=%d/strategy=%v", seed, strat), func(t *testing.T) {
+				t.Parallel()
+				if err := RunBatchSeed(seed, strat, 60, 25); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

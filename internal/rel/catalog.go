@@ -13,6 +13,8 @@ type Catalog struct {
 	names  []string
 	// inbound maps a referenced table name to the constraints pointing at it.
 	inbound map[string][]inboundFK
+	// version counts committed changes; see Version in prevalidated.go.
+	version uint64
 }
 
 type inboundFK struct {
@@ -54,6 +56,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, key ...string) (*Table
 	t := &Table{name: name, schema: schema, keyCols: keyCols, rows: make(map[string]Row)}
 	c.tables[name] = t
 	c.names = append(c.names, name)
+	c.version++
 	return t, nil
 }
 
@@ -131,6 +134,7 @@ func (c *Catalog) AddForeignKey(table string, cols []string, refTable string, re
 			return err
 		}
 	}
+	c.version++
 	return nil
 }
 
@@ -214,6 +218,7 @@ func (c *Catalog) Insert(table string, rows []Row) error {
 			return err // unreachable after pre-validation
 		}
 	}
+	c.version++
 	return nil
 }
 
@@ -266,6 +271,7 @@ func (c *Catalog) Delete(table string, keys [][]Value) ([]Row, error) {
 		}
 		out = append(out, row)
 	}
+	c.version++
 	return out, nil
 }
 
@@ -347,6 +353,7 @@ func (c *Catalog) Update(table string, key []Value, newRow Row) (Row, error) {
 	if err := t.insert(newRow); err != nil {
 		return nil, err // unreachable: key was just freed
 	}
+	c.version++
 	return old, nil
 }
 
@@ -366,6 +373,7 @@ func (c *Catalog) RollbackInsert(table string, rows []Row) error {
 			return fmt.Errorf("rel: table %s: rollback of insert: row with key %v is missing", table, row.Project(t.keyCols))
 		}
 	}
+	c.version++
 	return nil
 }
 
@@ -381,6 +389,7 @@ func (c *Catalog) RollbackDelete(table string, rows []Row) error {
 			return fmt.Errorf("rel: rollback of delete: %w", err)
 		}
 	}
+	c.version++
 	return nil
 }
 
@@ -398,6 +407,7 @@ func (c *Catalog) RollbackUpdate(table string, key []Value, oldRow Row) error {
 	if err := t.insert(oldRow); err != nil {
 		return fmt.Errorf("rel: rollback of update: %w", err)
 	}
+	c.version++
 	return nil
 }
 

@@ -120,6 +120,24 @@ func (t *Table) ContainsKey(encodedKey string) bool {
 	return ok
 }
 
+// ContainsKeyBytes is ContainsKey for a key held in a reusable byte
+// buffer; the in-place string conversion avoids allocating a key per probe.
+func (t *Table) ContainsKeyBytes(encodedKey []byte) bool {
+	_, ok := t.rows[string(encodedKey)]
+	return ok
+}
+
+// insertPrevalidated stores a row whose constraints and encoded key k the
+// catalog has already established (see rel/prevalidated.go). The row is
+// cloned, as in insert, so callers keep ownership of their slices.
+func (t *Table) insertPrevalidated(row Row, k string) {
+	row = row.Clone()
+	t.rows[k] = row
+	for _, ix := range t.indexes {
+		ix.add(row)
+	}
+}
+
 // KeyOf returns the encoded unique key of a row of this table.
 func (t *Table) KeyOf(row Row) string { return EncodeRowCols(row, t.keyCols) }
 
@@ -163,6 +181,11 @@ func (t *Table) CreateIndex(name string, cols ...string) (*Index, error) {
 	t.indexes = append(t.indexes, ix)
 	return ix, nil
 }
+
+// ValidateRow checks a row against the table schema (arity, NOT NULL,
+// value kinds) without inserting it. The write pipeline uses it to reject
+// malformed rows at enqueue time, before they reach a flush.
+func (t *Table) ValidateRow(row Row) error { return t.validateRow(row) }
 
 func (t *Table) validateRow(row Row) error {
 	if len(row) != len(t.schema) {

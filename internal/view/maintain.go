@@ -522,6 +522,36 @@ func (m *Maintainer) startMaintSpan(op, table string) *obs.Span {
 // decomposed modify into one report: row counts sum (including per-term
 // secondary counts) and the term counts take the larger pass, so neither
 // pass's plan shape is dropped.
+// AccumulateStats folds one maintenance run's stats into a batch
+// accumulator (nil starts a fresh one). Row counts and per-term orphan
+// accounting sum across the runs; Table collapses to "" when runs span
+// tables; the term counts keep their maximum, mirroring mergeStats.
+func AccumulateStats(acc, s *MaintStats) *MaintStats {
+	if acc == nil {
+		out := *s
+		out.SecondaryByTerm = make(map[string]int, len(s.SecondaryByTerm))
+		for k, n := range s.SecondaryByTerm {
+			out.SecondaryByTerm[k] = n
+		}
+		return &out
+	}
+	if acc.Table != s.Table {
+		acc.Table = ""
+	}
+	acc.PrimaryRows += s.PrimaryRows
+	acc.SecondaryRows += s.SecondaryRows
+	if s.DirectTerms > acc.DirectTerms {
+		acc.DirectTerms = s.DirectTerms
+	}
+	if s.IndirectTerms > acc.IndirectTerms {
+		acc.IndirectTerms = s.IndirectTerms
+	}
+	for k, n := range s.SecondaryByTerm {
+		acc.SecondaryByTerm[k] += n
+	}
+	return acc
+}
+
 func mergeStats(s1, s2 *MaintStats) *MaintStats {
 	out := *s2
 	out.PrimaryRows += s1.PrimaryRows

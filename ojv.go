@@ -173,6 +173,10 @@ type Rel struct{ e algebra.Expr }
 // Table starts an expression from a base table.
 func Table(name string) Rel { return Rel{e: &algebra.TableRef{Name: name}} }
 
+// ExprRel wraps an algebra expression as a Rel (for tools and tests within
+// this module that generate expressions directly).
+func ExprRel(e algebra.Expr) Rel { return Rel{e: e} }
+
 // Where applies a selection.
 func (r Rel) Where(p Pred) Rel { return Rel{e: &algebra.Select{Input: r.e, Pred: p}} }
 
