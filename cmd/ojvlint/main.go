@@ -1,17 +1,27 @@
 // Command ojvlint is the multichecker for this module's custom static
-// analyses (rowalias, locksafe, errfmt — see internal/analyzers). It loads
-// and type-checks packages without the go tool, so it runs offline:
+// analyses (rowalias, locksafe, errfmt, lockorder, versionguard, failsite,
+// srcclose — see internal/analyzers). It loads and type-checks packages
+// without the go tool, so it runs offline:
 //
 //	go run ./cmd/ojvlint ./...          # whole module (from anywhere inside it)
 //	go run ./cmd/ojvlint ./internal/exec
+//	go run ./cmd/ojvlint -json -baseline lint/baseline.json ./...
 //
 // Each argument is either ./... (the whole module) or a directory. With no
-// arguments, ./... is assumed. Diagnostics print one per line in
-// file:line:col: analyzer: message form; the exit status is non-zero when
-// any diagnostic is reported.
+// arguments, ./... is assumed. The module-wide passes (lockorder,
+// versionguard, failsite) see exactly the packages loaded, so run ./... for
+// their full-fidelity results. Diagnostics print one per line in
+// file:line:col: analyzer: message form (or as a JSON array with -json);
+// the exit status is non-zero when any new diagnostic is reported.
+//
+// Vetted findings live in two places: //ojvlint:ignore annotations next to
+// the code they excuse, and the committed baseline (-baseline filters known
+// findings; -update-baseline rewrites the file from the current run).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,45 +31,57 @@ import (
 )
 
 func main() {
-	diags, err := run(os.Args[1:])
+	code, err := run(os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ojvlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ojvlint: %d diagnostic(s)\n", len(diags))
-		os.Exit(1)
-	}
+	os.Exit(code)
 }
 
-func run(args []string) ([]analyzers.Diagnostic, error) {
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("ojvlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	baselinePath := fs.String("baseline", "", "filter findings recorded in this baseline file")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from this run's findings and exit 0")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
 	loader, err := analyzers.NewLoader(".")
 	if err != nil {
-		return nil, err
+		return 2, err
 	}
 	var pkgs []*analyzers.Package
-	if len(args) == 0 {
-		args = []string{"./..."}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
 	}
-	for _, arg := range args {
+	for _, arg := range targets {
 		switch {
 		case arg == "./..." || arg == "...":
 			all, err := loader.LoadAll()
 			if err != nil {
-				return nil, err
+				return 2, err
 			}
 			pkgs = append(pkgs, all...)
 		default:
 			dir, err := filepath.Abs(strings.TrimSuffix(arg, "/"))
 			if err != nil {
-				return nil, err
+				return 2, err
 			}
 			rel, err := filepath.Rel(loader.Root(), dir)
 			if err != nil || strings.HasPrefix(rel, "..") {
-				return nil, fmt.Errorf("%s is outside the module", arg)
+				return 2, fmt.Errorf("%s is outside the module", arg)
 			}
 			path := loader.ModulePath()
 			if rel != "." {
@@ -67,18 +89,58 @@ func run(args []string) ([]analyzers.Diagnostic, error) {
 			}
 			pkg, err := loader.LoadDir(dir, path)
 			if err != nil {
-				return nil, err
+				return 2, err
 			}
 			pkgs = append(pkgs, pkg)
 		}
 	}
-	var diags []analyzers.Diagnostic
-	for _, pkg := range pkgs {
-		ds, err := analyzers.RunAnalyzers(pkg, analyzers.All())
-		if err != nil {
-			return nil, err
-		}
-		diags = append(diags, ds...)
+
+	diags, err := analyzers.RunAll(pkgs, analyzers.All())
+	if err != nil {
+		return 2, err
 	}
-	return diags, nil
+
+	if *updateBaseline {
+		if *baselinePath == "" {
+			return 2, fmt.Errorf("-update-baseline requires -baseline <path>")
+		}
+		if err := analyzers.WriteBaseline(*baselinePath, loader.Root(), diags); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(os.Stderr, "ojvlint: baseline %s updated with %d finding(s)\n", *baselinePath, len(diags))
+		return 0, nil
+	}
+
+	if *baselinePath != "" {
+		baseline, err := analyzers.LoadBaseline(*baselinePath)
+		if err != nil {
+			return 2, err
+		}
+		diags = analyzers.FilterBaseline(diags, baseline, loader.Root())
+	}
+
+	if *jsonOut {
+		js := []jsonDiag{}
+		for _, d := range diags {
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(loader.Root(), rel); err == nil && !strings.HasPrefix(r, "..") {
+				rel = filepath.ToSlash(r)
+			}
+			js = append(js, jsonDiag{File: rel, Line: d.Pos.Line, Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(js); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ojvlint: %d diagnostic(s)\n", len(diags))
+		return 1, nil
+	}
+	return 0, nil
 }

@@ -28,7 +28,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
 // Diagnostic is one finding of an analyzer.
@@ -43,11 +42,16 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Analyzer is one static-analysis pass.
+// Analyzer is one static-analysis pass. Exactly one of Run and RunModule is
+// set: Run analyzes one package at a time, RunModule sees every loaded
+// package at once — the shape the interprocedural passes (lockorder,
+// versionguard, failsite) need, since the conventions they check span
+// package boundaries.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one type-checked package through an analyzer run.
@@ -74,36 +78,104 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // inside diagnostic messages.
 func (p *Pass) Line(pos token.Pos) int { return p.Fset.Position(pos).Line }
 
-// All returns every registered analyzer, the set cmd/ojvlint runs.
-func All() []*Analyzer {
-	return []*Analyzer{RowAlias, LockSafe, ErrFmt}
+// ModulePass carries every loaded package through one module-wide analyzer
+// run. Interprocedural passes use it to follow call edges across package
+// boundaries.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
 }
 
-// RunAnalyzers applies the analyzers to one loaded package and returns the
-// diagnostics sorted by position.
-func RunAnalyzers(pkg *Package, as []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+// Reportf records a diagnostic at the given position.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Line returns the line number of a position, for cross-referencing sites
+// inside diagnostic messages.
+func (p *ModulePass) Line(pos token.Pos) int { return p.Fset.Position(pos).Line }
+
+// All returns every registered analyzer, the set cmd/ojvlint runs: the
+// per-package passes from PR 2/5 plus the module-wide concurrency and
+// invariant passes.
+func All() []*Analyzer {
+	return []*Analyzer{RowAlias, LockSafe, ErrFmt, LockOrder, VersionGuard, FailSite, SrcClose}
+}
+
+// runPerPackage applies the per-package analyzers to one package, appending
+// raw (unsuppressed) diagnostics.
+func runPerPackage(pkg *Package, as []*Analyzer, diags *[]Diagnostic) error {
 	for _, a := range as {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
-			diags:    &diags,
+			diags:    diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzers: %s on %s: %w", a.Name, pkg.Path, err)
+			return fmt.Errorf("analyzers: %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		if diags[i].Pos.Filename != diags[j].Pos.Filename {
-			return diags[i].Pos.Filename < diags[j].Pos.Filename
+	return nil
+}
+
+// runModule applies the module-wide analyzers once over the whole package
+// set, appending raw diagnostics.
+func runModule(pkgs []*Package, as []*Analyzer, diags *[]Diagnostic) error {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	for _, a := range as {
+		if a.RunModule == nil {
+			continue
 		}
-		if diags[i].Pos.Line != diags[j].Pos.Line {
-			return diags[i].Pos.Line < diags[j].Pos.Line
+		pass := &ModulePass{
+			Analyzer: a,
+			Fset:     pkgs[0].Fset,
+			Pkgs:     pkgs,
+			diags:    diags,
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
-	})
+		if err := a.RunModule(pass); err != nil {
+			return fmt.Errorf("analyzers: %s: %w", a.Name, err)
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies the analyzers to one loaded package and returns the
+// diagnostics, suppression-filtered and sorted by position. Module-wide
+// analyzers in the set run over just this package.
+func RunAnalyzers(pkg *Package, as []*Analyzer) ([]Diagnostic, error) {
+	return RunAll([]*Package{pkg}, as)
+}
+
+// RunAll applies the analyzers — per-package passes to each package, module
+// passes once over the whole set — and returns the diagnostics with
+// //ojvlint:ignore suppressions applied, sorted by position.
+func RunAll(pkgs []*Package, as []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if err := runPerPackage(pkg, as, &diags); err != nil {
+			return nil, err
+		}
+	}
+	if err := runModule(pkgs, as, &diags); err != nil {
+		return nil, err
+	}
+	idx := collectSuppressions(pkgs, &diags)
+	diags = filterSuppressed(diags, idx)
+	sortDiagnostics(diags)
 	return diags, nil
 }

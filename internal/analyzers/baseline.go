@@ -1,0 +1,123 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a committed JSON file of vetted findings so CI fails
+// only on new diagnostics. Entries are keyed on the module-relative file,
+// the analyzer and the message with volatile line references normalized
+// ("line 42" -> "line N"), so unrelated edits that shift a vetted finding a
+// few lines do not invalidate the baseline. Site-level acknowledgements
+// belong in //ojvlint:ignore annotations instead; the baseline is for
+// findings vetted wholesale when a pass is introduced.
+
+// BaselineEntry is one vetted finding.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// lineRef matches the volatile cross-reference forms diagnostics embed.
+var lineRef = regexp.MustCompile(`line \d+|:\d+`)
+
+// normalizeMessage replaces line references so baseline matching survives
+// unrelated line shifts.
+func normalizeMessage(msg string) string {
+	return lineRef.ReplaceAllStringFunc(msg, func(m string) string {
+		if strings.HasPrefix(m, "line ") {
+			return "line N"
+		}
+		return ":N"
+	})
+}
+
+// baselineKey is the identity a diagnostic is matched under.
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + normalizeMessage(message)
+}
+
+// relFile renders a diagnostic's file module-relative with slashes, the
+// stable form used in baselines and -json output.
+func relFile(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("analyzers: baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// WriteBaseline writes the diagnostics as a baseline file, sorted and
+// deduplicated, with files rendered module-relative to root.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	seen := make(map[string]bool)
+	var entries []BaselineEntry
+	for _, d := range diags {
+		e := BaselineEntry{
+			File:     relFile(root, d.Pos.Filename),
+			Analyzer: d.Analyzer,
+			Message:  normalizeMessage(d.Message),
+		}
+		k := baselineKey(e.File, e.Analyzer, e.Message)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].File != entries[j].File {
+			return entries[i].File < entries[j].File
+		}
+		if entries[i].Analyzer != entries[j].Analyzer {
+			return entries[i].Analyzer < entries[j].Analyzer
+		}
+		return entries[i].Message < entries[j].Message
+	})
+	if entries == nil {
+		entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FilterBaseline drops diagnostics matched by a baseline entry and returns
+// the new findings.
+func FilterBaseline(diags []Diagnostic, baseline []BaselineEntry, root string) []Diagnostic {
+	known := make(map[string]bool, len(baseline))
+	for _, e := range baseline {
+		known[baselineKey(e.File, e.Analyzer, normalizeMessage(e.Message))] = true
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if !known[baselineKey(relFile(root, d.Pos.Filename), d.Analyzer, d.Message)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

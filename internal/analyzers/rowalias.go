@@ -28,7 +28,11 @@ import (
 // downstream and later reused — Next, b.Reset(), b.Append(...), an element
 // write b.Rows[i] = x, or a direct b.Rows reassignment — leaves the stored
 // frame pointing into the next batch. append(dst, b.Rows...) copies the row
-// headers out and is the sanctioned drain idiom.
+// headers out and is the sanctioned drain idiom. A composite literal
+// wrapping the scratch slice counts as an escape even when the literal is
+// consumed immediately by a call: whether the callee retains the frame is
+// its business, so vetted synchronous drains carry an explicit
+// //ojvlint:ignore rowalias annotation instead of an analyzer carve-out.
 var RowAlias = &Analyzer{
 	Name: "rowalias",
 	Doc:  "flags rows and encoded-key buffers mutated after being stored or emitted downstream",
@@ -181,12 +185,6 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 		return true
 	})
 
-	// Composite literals that are direct call arguments are consumed by the
-	// call like any other argument — plain arguments are not escapes, so a
-	// tracked variable wrapped in a temporary literal is not one either.
-	// append is the exception: its non-ellipsis arguments are retained.
-	transient := make(map[*ast.CompositeLit]bool)
-
 	events := make(map[*types.Var]*rowEvents)
 	var order []*rowEvents
 	record := func(obj *types.Var, pos token.Pos, escape bool) {
@@ -253,9 +251,6 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 				record(v, n.Pos(), true)
 			}
 		case *ast.CompositeLit:
-			if transient[n] {
-				break
-			}
 			for _, el := range n.Elts {
 				if kv, ok := el.(*ast.KeyValueExpr); ok {
 					el = kv.Value
@@ -265,13 +260,6 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 				}
 			}
 		case *ast.CallExpr:
-			if calleeName(n) != "append" {
-				for _, arg := range n.Args {
-					if cl, ok := arg.(*ast.CompositeLit); ok {
-						transient[cl] = true
-					}
-				}
-			}
 			switch calleeName(n) {
 			case "append":
 				// append(dst, v) retains v's backing array in dst;

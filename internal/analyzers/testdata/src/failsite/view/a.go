@@ -1,0 +1,128 @@
+// Package view is the failsite corpus: a miniature changeset whose staged
+// mutations must consult a FailPoint site first, with site names enumerable
+// and in parity with the fault matrices.
+package view
+
+// Materialized mirrors the stored view; its insertRow/deleteKey are the
+// site-less primitives only the changeset wrappers may reach unguarded.
+type Materialized struct {
+	rows map[string]int
+}
+
+func (m *Materialized) insertRow(k string, v int) { m.rows[k] = v }
+
+func (m *Materialized) deleteKey(k string) { delete(m.rows, k) }
+
+type aggGroup struct{ n int }
+
+type agg struct {
+	groups map[string]*aggGroup
+}
+
+type Maintainer struct {
+	mv  *Materialized
+	agg *agg
+	fp  func(site string) error
+}
+
+type Changeset struct {
+	m *Maintainer
+}
+
+// fail consults the fault-injection hook at a mutation site.
+func (cs *Changeset) fail(site string) error {
+	if cs.m.fp == nil {
+		return nil
+	}
+	return cs.m.fp(site)
+}
+
+// insertRow and deleteKey are the site-bearing wrappers: they consult first
+// and forward their own site parameter, which is the sanctioned shape.
+func (cs *Changeset) insertRow(site, k string, v int) error {
+	if err := cs.fail(site); err != nil {
+		return err
+	}
+	cs.m.mv.insertRow(k, v)
+	return nil
+}
+
+func (cs *Changeset) deleteKey(site, k string) error {
+	if err := cs.fail(site); err != nil {
+		return err
+	}
+	cs.m.mv.deleteKey(k)
+	return nil
+}
+
+// applyPrimary stages through the wrappers with literal sites that both
+// matrices list: fully conforming.
+func applyPrimary(cs *Changeset, k string, v int) error {
+	if err := cs.insertRow("s-insert", k, v); err != nil {
+		return err
+	}
+	return cs.deleteKey("s-delete", k)
+}
+
+// applyDynamic builds the site name at run time, so the crash-point set is
+// no longer statically enumerable.
+func applyDynamic(cs *Changeset, site, k string) error {
+	return cs.deleteKey(site+"-next", k) // want `failpoint site argument of deleteKey must be a string literal \(or forward the caller's site parameter\)`
+}
+
+// repairOrphan mutates the stored view directly with no consult at all.
+func repairOrphan(m *Maintainer, k string) {
+	m.mv.deleteKey(k) // want `staged view mutation deleteKey is not preceded by a FailPoint consult in repairOrphan`
+}
+
+// foldGroup consults the bare hook before touching the group map: guarded.
+func foldGroup(cs *Changeset, k string) error {
+	if err := cs.fail("s-orphan"); err != nil {
+		return err
+	}
+	cs.m.agg.groups[k] = &aggGroup{n: 1}
+	return nil
+}
+
+// rebuildGroup stages aggregate-group mutations unguarded, both the element
+// write and the delete.
+func rebuildGroup(m *Maintainer, k string) {
+	m.agg.groups[k] = &aggGroup{} // want `staged aggregate-group mutation is not preceded by a FailPoint consult in rebuildGroup`
+	delete(m.agg.groups, k)       // want `staged aggregate-group mutation is not preceded by a FailPoint consult in rebuildGroup`
+}
+
+// applyMixed reuses one site name for two mutation kinds, so a matrix entry
+// for it no longer identifies a unique crash point.
+func applyMixed(cs *Changeset, k string) error {
+	if err := cs.insertRow("s-kinds", k, 1); err != nil { // want `failpoint site "s-kinds" is used with multiple mutation kinds \(deleteKey, insertRow\)`
+		return err
+	}
+	return cs.deleteKey("s-kinds", k)
+}
+
+// applyUntested consults a site neither matrix lists: an untested crash
+// point, reported against both matrices.
+func applyUntested(cs *Changeset, k string) error {
+	return cs.insertRow("s-missing", k, 2) // want `failpoint site "s-missing" is consulted in the flush path but missing from the view test fault matrix \(wantSites\)` `failpoint site "s-missing" is consulted in the flush path but missing from the oracle fault matrix \(flushFaultSites\)`
+}
+
+// undoReplay is the vetted exception: rollback must never consult the hook,
+// and says so in source.
+func undoReplay(m *Maintainer, k string, v int) {
+	//ojvlint:ignore failsite rollback replay must succeed unconditionally, so it never consults the fault hook
+	m.mv.insertRow(k, v)
+}
+
+// rematerialize swaps in a fresh group map: whole-field replacement is a
+// from-scratch rebuild, not a staged per-row mutation, and is exempt.
+func rematerialize(m *Maintainer) {
+	m.agg.groups = make(map[string]*aggGroup)
+}
+
+// localCopy stages into a locally built view, not committed state handed
+// in: out of scope for the guard.
+func localCopy(k string, v int) *Materialized {
+	scratch := &Materialized{rows: map[string]int{}}
+	scratch.insertRow(k, v)
+	return scratch
+}

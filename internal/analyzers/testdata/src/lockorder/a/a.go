@@ -1,0 +1,149 @@
+// Package a is the lockorder corpus: acquisition-order cycles and
+// consistent-hierarchy negatives mirroring the module's mutex shapes.
+package a
+
+import "sync"
+
+// DB and Batch mirror the Database.mu / WriteBatch.mu pair; the sanctioned
+// hierarchy below acquires Batch before DB, and lockDBThenBatch inverts it.
+type DB struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type Batch struct {
+	mu sync.Mutex
+	n  int
+}
+
+func lockDBThenBatch(d *DB, b *Batch) {
+	d.mu.Lock()
+	b.mu.Lock() // want `lock-order inversion: a\.Batch\.mu is acquired while a\.DB\.mu is held here, but a\.DB\.mu is acquired while a\.Batch\.mu is held at a/a\.go:\d+`
+	b.n++
+	b.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// lockBatchThenDB takes only a read lock on DB.mu, but read and write locks
+// of one RWMutex are the same node: RLock-under-Lock still deadlocks once a
+// writer queues.
+func lockBatchThenDB(d *DB, b *Batch) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.n + b.n
+}
+
+// regMu guards a package-level registry; lookup is also called from
+// register, which already holds the lock — a self-deadlock the walk finds
+// interprocedurally.
+var regMu sync.Mutex
+
+var registry = map[string]string{}
+
+func register(name, val string) string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = val
+	return lookup(name) // want `a\.regMu is acquired on a path that already holds it — self-deadlock on re-entry`
+}
+
+func lookup(name string) string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[name]
+}
+
+// A three-lock cycle with no two-lock inversion: each pair is ordered
+// consistently, but the ring A -> B -> C -> A can still deadlock.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+func abEdge(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle through a\.A\.mu -> a\.B\.mu -> a\.C\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func bcEdge(b *B, c *C) {
+	b.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func caEdge(c *C, a *A) {
+	c.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Pool and Task are acquired in the same order everywhere: a consistent
+// hierarchy, nothing to report.
+type Pool struct {
+	mu   sync.Mutex
+	live int
+}
+
+type Task struct {
+	mu   sync.Mutex
+	done bool
+}
+
+func drain(p *Pool, t *Task) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t.mu.Lock()
+	t.done = true
+	t.mu.Unlock()
+	p.live--
+}
+
+func schedule(p *Pool, t *Task) {
+	p.mu.Lock()
+	p.live++
+	t.mu.Lock()
+	t.done = false
+	t.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// spawn hands the locked work to a goroutine: the goroutine does not
+// inherit the spawner's locks, so no Pool -> Task edge arises here even
+// though the closure re-locks in the opposite order of nothing at all.
+func spawn(p *Pool, t *Task) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		t.mu.Lock()
+		t.done = true
+		t.mu.Unlock()
+	}()
+}
+
+// X and Y invert deliberately: the init-only path is vetted in source with
+// a suppression, so the inversion is acknowledged, not reported.
+type X struct{ mu sync.Mutex }
+
+type Y struct{ mu sync.Mutex }
+
+func xThenY(x *X, y *Y) {
+	x.mu.Lock()
+	//ojvlint:ignore lockorder yThenX runs only during single-threaded bootstrap, never concurrently with this path
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func yThenX(x *X, y *Y) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package a exercises the suppression-directive parser: an ignore without
+// a reason (or naming no analyzer) is itself reported, so vetted findings
+// always carry their justification.
+package a
+
+//ojvlint:ignore
+var MissingEverything = 1
+
+//ojvlint:ignore srcclose
+var MissingReason = 2
+
+//ojvlint:ignore rowalias the reason clause makes this one well-formed
+var WellFormed = 3

@@ -1,0 +1,68 @@
+// Package rel is the versionguard corpus: a miniature catalog layer whose
+// exported mutators must bump Catalog.version, mirroring the invariant the
+// Prevalidated() flush fast path depends on.
+package rel
+
+// Catalog, Table and Index mirror the guarded types of the real rel
+// package: their fields are committed state.
+type Catalog struct {
+	version int
+	tables  map[string]*Table
+}
+
+type Table struct {
+	name string
+	rows []int
+	ix   *Index
+}
+
+type Index struct {
+	cols []string
+}
+
+// Version is a read, not a mutation.
+func (c *Catalog) Version() int { return c.version }
+
+// AddRow mutates committed Table state and never bumps: the fast path would
+// reuse validation computed against the old row set.
+func (t *Table) AddRow(v int) { // want `exported Table\.AddRow reaches a mutation of committed Table\.rows state \(line \d+\) without bumping Catalog\.version`
+	t.rows = append(t.rows, v)
+}
+
+// Drop reaches a mutation only through an unexported helper; the
+// transitive closure still pins the blame on the exported entry point.
+func (c *Catalog) Drop(name string) { // want `exported Catalog\.Drop reaches a mutation of committed Catalog\.tables state \(line \d+\) without bumping Catalog\.version`
+	c.drop(name)
+}
+
+func (c *Catalog) drop(name string) {
+	delete(c.tables, name)
+}
+
+// Rename mutates and bumps directly: nothing to report.
+func (c *Catalog) Rename(old, next string) {
+	t := c.tables[old]
+	delete(c.tables, old)
+	c.tables[next] = t
+	c.version++
+}
+
+// Truncate bumps through a helper; the bump property is closed over the
+// call graph just like the mutation property.
+func (c *Catalog) Truncate(name string) {
+	if t := c.tables[name]; t != nil {
+		t.rows = nil
+		t.ix.cols = t.ix.cols[:0]
+	}
+	c.bump()
+}
+
+func (c *Catalog) bump() { c.version++ }
+
+// Restore swaps in a whole catalog before any plan can exist, so the stale
+// fast-path hazard cannot arise; the exemption is vetted in source.
+//
+//ojvlint:ignore versionguard restore runs before planning, so no Prevalidated() state can be stale
+func (c *Catalog) Restore(tabs map[string]*Table) {
+	c.tables = tabs
+}

@@ -1,0 +1,206 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// VersionGuard protects the version-guarded Prevalidated() flush fast path:
+// pipeline.Queue skips re-validation at flush when Catalog.version has not
+// moved since planning, so every mutation of committed catalog state MUST
+// bump the version or the fast path silently reuses stale validation.
+//
+// The pass runs over packages named "rel" (the catalog layer owns all
+// committed state; other packages can only reach it through rel's exported
+// API). A mutation is any write — assignment, ++/--, delete() — through a
+// field whose owning struct is Catalog, Table or Index. A bump is a write
+// to Catalog.version. Both properties are closed transitively over the
+// in-package call graph, and every exported function from which a mutation
+// site is reachable must also reach a bump: unexported helpers like
+// Table.insert are exempt exactly as long as all their exported entry
+// points (Insert, the Rollback* family, ...) bump.
+var VersionGuard = &Analyzer{
+	Name:      "versionguard",
+	Doc:       "flags exported catalog mutators that do not bump Catalog.version",
+	RunModule: runVersionGuard,
+}
+
+// versionGuardedTypes are the structs whose fields hold committed state.
+var versionGuardedTypes = map[string]bool{"Catalog": true, "Table": true, "Index": true}
+
+type vgFunc struct {
+	pkg      *Package
+	decl     *ast.FuncDecl
+	fn       *types.Func
+	bumps    bool
+	mutation token.Pos // first direct mutation site, NoPos if none
+	mutDesc  string    // "Table.rows" — the field the site writes
+	callees  []*types.Func
+}
+
+func runVersionGuard(mp *ModulePass) error {
+	for _, pkg := range mp.Pkgs {
+		if pkg.Types.Name() == "rel" {
+			versionGuardPackage(mp, pkg)
+		}
+	}
+	return nil
+}
+
+func versionGuardPackage(mp *ModulePass, pkg *Package) {
+	funcs := make(map[*types.Func]*vgFunc)
+	var order []*vgFunc
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			vf := &vgFunc{pkg: pkg, decl: fd, fn: fn}
+			funcs[fn] = vf
+			order = append(order, vf)
+		}
+	}
+
+	for _, vf := range order {
+		ast.Inspect(vf.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					vgRecordWrite(pkg, vf, lhs, n.Pos())
+				}
+			case *ast.IncDecStmt:
+				vgRecordWrite(pkg, vf, n.X, n.Pos())
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+					vgRecordWrite(pkg, vf, n.Args[0], n.Pos())
+				}
+				if callee := calleeFunc(pkg, n); callee != nil {
+					vf.callees = append(vf.callees, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Close bumps over the call graph: f bumps if it writes version or
+	// calls a function that (transitively) does.
+	for changed := true; changed; {
+		changed = false
+		for _, vf := range order {
+			if vf.bumps {
+				continue
+			}
+			for _, callee := range vf.callees {
+				if c, ok := funcs[callee]; ok && c.bumps {
+					vf.bumps = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Reachability: which functions can reach a mutation site.
+	reachesMut := make(map[*vgFunc]*vgFunc) // func -> witness mutator
+	for _, vf := range order {
+		if vf.mutation != token.NoPos {
+			reachesMut[vf] = vf
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, vf := range order {
+			if _, ok := reachesMut[vf]; ok {
+				continue
+			}
+			for _, callee := range vf.callees {
+				if c, ok := funcs[callee]; ok {
+					if w, ok := reachesMut[c]; ok {
+						reachesMut[vf] = w
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool { return order[i].decl.Pos() < order[j].decl.Pos() })
+	for _, vf := range order {
+		if !vf.decl.Name.IsExported() {
+			continue
+		}
+		w, ok := reachesMut[vf]
+		if !ok || vf.bumps {
+			continue
+		}
+		mp.Reportf(vf.decl.Name.Pos(), "exported %s reaches a mutation of committed %s state (line %d) without bumping Catalog.version — the Prevalidated() flush fast path would reuse stale validation (DESIGN.md §12)",
+			funcDisplayName(vf), w.mutDesc, mp.Line(w.mutation))
+	}
+}
+
+// vgRecordWrite classifies one written expression: a bump if it writes
+// Catalog.version, a mutation if it writes any other field of a guarded
+// struct (peeling index/star/paren wrappers to find the selector).
+func vgRecordWrite(pkg *Package, vf *vgFunc, lhs ast.Expr, pos token.Pos) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+			continue
+		case *ast.StarExpr:
+			lhs = e.X
+			continue
+		case *ast.ParenExpr:
+			lhs = e.X
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	owner := s.Recv()
+	if p, ok := owner.(*types.Pointer); ok {
+		owner = p.Elem()
+	}
+	named, ok := owner.(*types.Named)
+	if !ok || named.Obj().Pkg() != pkg.Types || !versionGuardedTypes[named.Obj().Name()] {
+		return
+	}
+	if named.Obj().Name() == "Catalog" && s.Obj().Name() == "version" {
+		vf.bumps = true
+		return
+	}
+	if vf.mutation == token.NoPos {
+		vf.mutation = pos
+		vf.mutDesc = named.Obj().Name() + "." + s.Obj().Name()
+	}
+}
+
+// funcDisplayName renders "Table.CreateIndex" for methods and "LoadCatalog"
+// for plain functions.
+func funcDisplayName(vf *vgFunc) string {
+	if vf.decl.Recv != nil && len(vf.decl.Recv.List) > 0 {
+		t := vf.decl.Recv.List[0].Type
+		if se, ok := t.(*ast.StarExpr); ok {
+			t = se.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + vf.decl.Name.Name
+		}
+	}
+	return vf.decl.Name.Name
+}

@@ -382,7 +382,7 @@ func TestIndexVsHashVsNestedLoop(t *testing.T) {
 		must(t, cat.Insert("A", aRows))
 		must(t, cat.Insert("B", bRows))
 		// Secondary index on B.v for the INL path.
-		if _, err := cat.Table("B").CreateIndex("b_v", "v"); err != nil {
+		if _, err := cat.CreateIndex("B", "b_v", "v"); err != nil {
 			t.Fatal(err)
 		}
 		ctx := &Context{Catalog: cat}
@@ -446,7 +446,7 @@ func TestSelectOverIndexedTableProbe(t *testing.T) {
 	}
 	// Without an index on R.a this goes through hash; add one and compare.
 	want := evalOK(t, ctx, j)
-	if _, err := ctx.Catalog.Table("R").CreateIndex("r_a", "a"); err != nil {
+	if _, err := ctx.Catalog.CreateIndex("R", "r_a", "a"); err != nil {
 		t.Fatal(err)
 	}
 	got := evalOK(t, ctx, j)

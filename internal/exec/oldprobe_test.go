@@ -29,7 +29,7 @@ func oldProbeDB(t testing.TB, rng *rand.Rand) *rel.Catalog {
 	}
 	must(t, cat.Insert("L", lRows))
 	must(t, cat.Insert("R", rRows))
-	if _, err := cat.Table("R").CreateIndex("r_j", "j"); err != nil {
+	if _, err := cat.CreateIndex("R", "r_j", "j"); err != nil {
 		t.Fatal(err)
 	}
 	return cat

@@ -102,12 +102,12 @@ func RSTU(opt RSTUOptions) (*rel.Catalog, error) {
 	for _, ix := range []struct{ table, col string }{
 		{"R", "b"}, {"R", "c"}, {"S", "b"}, {"T", "c"}, {"T", "d"}, {"U", "d"},
 	} {
-		if _, err := c.Table(ix.table).CreateIndex(ix.table+"_"+ix.col, ix.col); err != nil {
+		if _, err := c.CreateIndex(ix.table, ix.table+"_"+ix.col, ix.col); err != nil {
 			return nil, err
 		}
 	}
 	if opt.WithFK {
-		if _, err := c.Table("U").CreateIndex("U_tfk", "tfk"); err != nil {
+		if _, err := c.CreateIndex("U", "U_tfk", "tfk"); err != nil {
 			return nil, err
 		}
 	}
@@ -214,7 +214,7 @@ func COL(opt COLOptions) (*rel.Catalog, error) {
 		}
 	}
 	for _, ix := range []struct{ table, col string }{{"O", "ock"}, {"L", "lok"}} {
-		if _, err := c.Table(ix.table).CreateIndex(ix.table+"_"+ix.col, ix.col); err != nil {
+		if _, err := c.CreateIndex(ix.table, ix.table+"_"+ix.col, ix.col); err != nil {
 			return nil, err
 		}
 	}

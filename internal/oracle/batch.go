@@ -149,6 +149,35 @@ func mirroredStep(dbRef *ojv.Database, wb *ojv.WriteBatch, rng *rand.Rand, table
 	}
 }
 
+// flushFaultSites is the canonical list of failpoint site names the flush
+// path may consult (see the site table on view.Changeset). The failsite
+// analyzer checks it against the sites actually consulted in the view
+// package and against atomic_test.go's wantSites matrices, so a new staged
+// mutation cannot ship without appearing here — and the runtime guard in
+// faultArm.hit rejects any site name the maintenance path invents without
+// declaring it.
+var flushFaultSites = []string{
+	"primary-insert",
+	"primary-delete",
+	"secondary-orphan-delete",
+	"secondary-orphan-insert",
+	"frombase-orphan-delete",
+	"frombase-orphan-insert",
+	"agg-primary-fold",
+	"agg-secondary-fold",
+	"modify-between-passes",
+}
+
+// knownFaultSite reports whether site is declared in flushFaultSites.
+func knownFaultSite(site string) bool {
+	for _, s := range flushFaultSites {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
 // faultArm is an Options.FailPoint that fails the failAt-th site call
 // after arming. It serializes access so parallel maintenance workers can
 // share it, though the fault matrix runs with Parallelism 1 for a
@@ -160,6 +189,9 @@ type faultArm struct {
 }
 
 func (f *faultArm) hit(site string) error {
+	if !knownFaultSite(site) {
+		return fmt.Errorf("oracle: flush consulted undeclared failpoint site %q — add it to flushFaultSites and the fault matrices", site)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.n++

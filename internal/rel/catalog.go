@@ -130,12 +130,29 @@ func (c *Catalog) AddForeignKey(table string, cols []string, refTable string, re
 	t.fks = append(t.fks, fk)
 	c.inbound[refTable] = append(c.inbound[refTable], inboundFK{fromTable: table, fk: fk})
 	if t.IndexOnSet(offsets) == nil {
-		if _, err := t.CreateIndex(fmt.Sprintf("fk_%s_%s", table, refTable), cols...); err != nil {
+		if _, err := t.createIndex(fmt.Sprintf("fk_%s_%s", table, refTable), cols...); err != nil {
 			return err
 		}
 	}
 	c.version++
 	return nil
+}
+
+// CreateIndex builds a secondary hash index over the named columns of a
+// table. The catalog version is bumped on success: an index is committed
+// catalog state, and a plan validated before it existed must not be flushed
+// through the Prevalidated() fast path without re-validation.
+func (c *Catalog) CreateIndex(table, name string, cols ...string) (*Index, error) {
+	t, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("rel: unknown table %s", table)
+	}
+	ix, err := t.createIndex(name, cols...)
+	if err != nil {
+		return nil, err
+	}
+	c.version++
+	return ix, nil
 }
 
 // fkSatisfied reports whether row's FK columns (at offsets) match a key of rt

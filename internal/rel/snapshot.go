@@ -112,7 +112,7 @@ func LoadCatalog(r io.Reader) (*Catalog, error) {
 				offsets[i] = t.schema.MustIndexOf(wt.Name, col)
 			}
 			if t.IndexOnSet(offsets) == nil {
-				if _, err := t.CreateIndex(ix.Name, ix.Columns...); err != nil {
+				if _, err := c.CreateIndex(wt.Name, ix.Name, ix.Columns...); err != nil {
 					return nil, err
 				}
 			}

@@ -38,7 +38,7 @@ func snapshotFixture(t *testing.T) *Catalog {
 		{Int(10), Int(1), Float(1.5), Bool(true)},
 		{Int(11), Int(2), Null, Bool(false)},
 	}))
-	if _, err := c.Table("e").CreateIndex("e_sal", "sal"); err != nil {
+	if _, err := c.CreateIndex("e", "e_sal", "sal"); err != nil {
 		t.Fatal(err)
 	}
 	return c

@@ -164,8 +164,12 @@ func (t *Table) IndexOnSet(cols []int) *Index {
 	return nil
 }
 
-// CreateIndex builds a secondary hash index over the named columns.
-func (t *Table) CreateIndex(name string, cols ...string) (*Index, error) {
+// createIndex builds a secondary hash index over the named columns. It is
+// unexported on purpose: index creation changes committed catalog state, so
+// the only way in is Catalog.CreateIndex (or a bumping caller like
+// AddForeignKey), which moves Catalog.version and keeps the Prevalidated()
+// flush fast path honest.
+func (t *Table) createIndex(name string, cols ...string) (*Index, error) {
 	offsets := make([]int, len(cols))
 	for i, c := range cols {
 		p := t.schema.IndexOf(t.name, c)

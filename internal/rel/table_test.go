@@ -162,7 +162,7 @@ func TestSecondaryIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := c.Table("dept")
-	ix, err := d.CreateIndex("by_name", "name")
+	ix, err := c.CreateIndex("dept", "by_name", "name")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,6 +190,32 @@ func TestSecondaryIndex(t *testing.T) {
 	}
 	if d.IndexOn([]int{0}) != nil {
 		t.Error("IndexOn should miss for unindexed columns")
+	}
+}
+
+// TestCreateIndexBumpsVersion pins the invariant the versionguard analyzer
+// enforces: index creation is committed catalog state, so it must advance
+// the catalog version or the Prevalidated() flush fast path would reuse
+// validation computed before the index existed.
+func TestCreateIndexBumpsVersion(t *testing.T) {
+	c := mkCatalog(t)
+	before := c.Version()
+	if _, err := c.CreateIndex("dept", "by_name", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Version(); got <= before {
+		t.Errorf("Version() = %d after CreateIndex, want > %d", got, before)
+	}
+	// A failed creation commits nothing and must not bump.
+	before = c.Version()
+	if _, err := c.CreateIndex("nosuch", "ix", "name"); err == nil {
+		t.Fatal("CreateIndex on unknown table should fail")
+	}
+	if _, err := c.CreateIndex("dept", "ix2", "nocol"); err == nil {
+		t.Fatal("CreateIndex on unknown column should fail")
+	}
+	if got := c.Version(); got != before {
+		t.Errorf("Version() = %d after failed CreateIndex, want %d", got, before)
 	}
 }
 

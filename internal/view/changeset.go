@@ -154,17 +154,21 @@ func (cs *Changeset) Rollback() error {
 		r := undo[i]
 		switch r.kind {
 		case undoViewInsert:
+			//ojvlint:ignore failsite rollback must never consult the fault hook: undo replay has to succeed unconditionally
 			if _, ok := cs.m.mv.deleteKey(r.key); !ok {
 				return fmt.Errorf("view %s: rollback: staged row vanished; re-materialize the view", cs.m.def.Name)
 			}
 		case undoViewDelete:
+			//ojvlint:ignore failsite rollback must never consult the fault hook: undo replay has to succeed unconditionally
 			if err := cs.m.mv.insertRow(r.row); err != nil {
 				return fmt.Errorf("view %s: rollback: %v; re-materialize the view", cs.m.def.Name, err)
 			}
 		case undoAggGroup:
 			if r.group == nil {
+				//ojvlint:ignore failsite rollback must never consult the fault hook: undo replay has to succeed unconditionally
 				delete(cs.m.agg.groups, r.key)
 			} else {
+				//ojvlint:ignore failsite rollback must never consult the fault hook: undo replay has to succeed unconditionally
 				cs.m.agg.groups[r.key] = r.group
 			}
 		}

@@ -777,6 +777,7 @@ func (m *Maintainer) streamProjected(ctx *exec.Context, e algebra.Expr) ([]rel.R
 			break
 		}
 		total += b.Len()
+		//ojvlint:ignore rowalias projectToOutput copies every row it keeps before this frame is refilled by the next Next
 		rows, err := projectToOutput(exec.Relation{Schema: schema, Rows: b.Rows}, m.def, m.mv.schema)
 		if err != nil {
 			src.Close()

@@ -275,15 +275,16 @@ func (db *Database) AddForeignKey(table string, cols []string, refTable string, 
 	return db.cat.AddForeignKey(table, cols, refTable, refCols)
 }
 
-// CreateIndex builds a secondary hash index.
+// CreateIndex builds a secondary hash index. It goes through the catalog so
+// the version moves: a queued plan validated before the index existed must
+// not reuse its validation at flush.
 func (db *Database) CreateIndex(table, name string, cols ...string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	t := db.cat.Table(table)
-	if t == nil {
+	if db.cat.Table(table) == nil {
 		return fmt.Errorf("ojv: unknown table %s", table)
 	}
-	_, err := t.CreateIndex(name, cols...)
+	_, err := db.cat.CreateIndex(table, name, cols...)
 	return err
 }
 
