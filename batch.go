@@ -25,12 +25,16 @@ const (
 
 // BatchOptions tunes a WriteBatch.
 type BatchOptions struct {
-	// FlushRows auto-flushes when the net pending rows reach the threshold
-	// (0 disables; flush on Flush/Close only).
+	// FlushRows asks the maintenance goroutine to flush when the net pending
+	// rows reach the threshold (0 disables). The flush is asynchronous: the
+	// statement that crosses the threshold kicks the goroutine and returns
+	// immediately; a flush failure surfaces through Err and the next
+	// explicit Flush/Close, not from the enqueueing call.
 	FlushRows int
-	// FlushInterval starts a background flusher with the given time bound
-	// (0 disables). The flusher skips ticks while a previous flush error is
-	// unresolved, so a poisoned batch never loses its pending statements.
+	// FlushInterval adds a time bound to the maintenance goroutine: pending
+	// statements flush at least this often (0 disables). The goroutine
+	// skips kicks and ticks while a previous flush error is unresolved, so
+	// a poisoned batch never loses its pending statements.
 	FlushInterval time.Duration
 	// ReadPolicy selects the Rows read semantics (see ReadPolicy).
 	ReadPolicy ReadPolicy
@@ -60,6 +64,11 @@ type BatchOptions struct {
 //     flush restores the pre-flush state exactly, preserves the pending
 //     queue, records itself in Err, and suspends auto-flushing until Flush
 //     succeeds or Discard drops the batch.
+//   - Auto flushes (FlushRows threshold and FlushInterval tick) run on one
+//     dedicated maintenance goroutine, never inline in a writer's
+//     statement. View readers are isolated from the flush by epochs: they
+//     keep reading the last committed snapshot and switch to the new one
+//     only when the flush commits.
 //   - Deletes across tables flush children-first and inserts parents-first,
 //     so cross-table batches respect foreign keys; a batch that both grows
 //     and shrinks the same FK chain in conflicting ways may still fail at
@@ -77,47 +86,77 @@ type WriteBatch struct {
 	q        *pipeline.Queue
 	flushErr error
 	closed   bool
+	// stopped records that the maintenance goroutine was told to stop; it
+	// can be set while the batch is still open (a poisoned Close), and
+	// guards stop against a second close.
+	stopped bool
 
+	// kick wakes the maintenance goroutine for a threshold flush. Capacity
+	// 1: consecutive threshold crossings coalesce into one wakeup.
+	kick chan struct{}
 	stop chan struct{}
 	done chan struct{}
 }
 
 // NewWriteBatch opens a write batch over the database. Close it to flush
-// remaining statements and stop the background flusher (when configured).
+// remaining statements and stop the maintenance goroutine (when
+// configured). Any auto-flush policy — FlushRows, FlushInterval or both —
+// starts one maintenance goroutine that performs the flushes off the
+// writers' statement path.
 func (db *Database) NewWriteBatch(opts ...BatchOptions) *WriteBatch {
 	var o BatchOptions
 	if len(opts) > 0 {
 		o = opts[0]
 	}
 	b := &WriteBatch{db: db, opts: o, q: pipeline.New(db.cat)}
-	if o.FlushInterval > 0 {
+	if o.FlushRows > 0 || o.FlushInterval > 0 {
+		b.kick = make(chan struct{}, 1)
 		b.stop = make(chan struct{})
 		b.done = make(chan struct{})
-		go b.backgroundFlush(o.FlushInterval)
+		go b.maintainLoop(o.FlushInterval)
 	}
 	return b
 }
 
-func (b *WriteBatch) backgroundFlush(every time.Duration) {
+// maintainLoop is the maintenance goroutine: it owns every auto flush, so
+// writers never run maintenance inline. It wakes on a threshold kick or on
+// the interval tick and exits on stop. Explicit Flush/Close calls run their
+// flush inline instead; b.mu serializes the two paths.
+func (b *WriteBatch) maintainLoop(every time.Duration) {
 	defer close(b.done)
-	tick := time.NewTicker(every)
-	defer tick.Stop()
+	var tickC <-chan time.Time
+	if every > 0 {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		tickC = tick.C
+	}
 	for {
 		select {
 		case <-b.stop:
 			return
-		case <-tick.C:
-			b.mu.Lock()
-			if !b.closed && b.flushErr == nil {
-				b.flushLocked()
-			}
-			b.mu.Unlock()
+		case <-b.kick:
+			b.flushAsync("rows")
+		case <-tickC:
+			b.flushAsync("interval")
 		}
 	}
 }
 
+// flushAsync is one maintenance-goroutine flush. A closed batch or a sticky
+// flush error suspends auto-flushing (the queue must survive for an
+// explicit retry or Discard), so those states skip the flush entirely.
+func (b *WriteBatch) flushAsync(trigger string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.flushErr != nil {
+		return
+	}
+	b.flushLocked(trigger)
+}
+
 // enqueue runs one statement against the queue under both locks (b.mu, then
-// db.mu for reads — always in that order) and applies the auto-flush policy.
+// db.mu for reads — always in that order) and applies the auto-flush policy
+// by kicking the maintenance goroutine; it never flushes inline.
 func (b *WriteBatch) enqueue(stmt func() error) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -132,7 +171,10 @@ func (b *WriteBatch) enqueue(stmt func() error) error {
 	}
 	b.opts.Metrics.Observe("view.flush.queue.depth", int64(b.q.Len()))
 	if b.opts.FlushRows > 0 && b.q.Len() >= b.opts.FlushRows && b.flushErr == nil {
-		return b.flushLocked()
+		select {
+		case b.kick <- struct{}{}:
+		default: // a wakeup is already pending; the flush will see our rows
+		}
 	}
 	return nil
 }
@@ -222,42 +264,59 @@ func (b *WriteBatch) Discard() {
 	b.flushErr = nil
 }
 
-// Flush drains the pending statements through one atomic maintenance pass.
-// On error the database is unchanged and the statements remain pending.
+// Flush drains the pending statements through one atomic maintenance pass
+// and returns only when the flush has completed. On error the database is
+// unchanged and the statements remain pending. A concurrent maintenance-
+// goroutine flush serializes before this one: Flush observes its outcome
+// (possibly an empty queue, or its sticky error) rather than racing it.
 func (b *WriteBatch) Flush() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.flushLocked()
+	return b.flushLocked("explicit")
 }
 
-// Close flushes remaining statements, stops the background flusher and
-// marks the batch closed. Closing twice is a no-op; a failed final flush
-// leaves the batch open (poisoned) so the statements are not lost.
+// Close flushes remaining statements, stops the maintenance goroutine and
+// marks the batch closed. Closing twice is a no-op. A failed final flush
+// leaves the batch open (poisoned) so the statements are not lost — but
+// the maintenance goroutine still stops, so an abandoned poisoned batch
+// does not leak it; a later successful Flush (or Discard) plus Close
+// completes the shutdown.
 func (b *WriteBatch) Close() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return nil
 	}
-	if err := b.flushLocked(); err != nil {
-		return err
+	err := b.flushLocked("close")
+	if err == nil {
+		b.closed = true
 	}
-	b.closed = true
-	if b.stop != nil {
+	// Stop the maintenance goroutine exactly once, then wait for it after
+	// releasing b.mu: an in-flight async flush blocked on the lock gets to
+	// finish (and observe the closed/poisoned state) instead of deadlocking
+	// against our wait.
+	var wait chan struct{}
+	if b.stop != nil && !b.stopped {
+		b.stopped = true
 		close(b.stop)
-		b.mu.Unlock()
-		<-b.done
-		b.mu.Lock()
+		wait = b.done
 	}
-	return nil
+	b.mu.Unlock()
+	if wait != nil {
+		<-wait
+	}
+	return err
 }
 
-// flushLocked is the group commit. Caller holds b.mu. The plan's steps
-// apply strictly in sequence — base delta, then one maintenance pass per
-// view — so the flush is equivalent to running the net statements
-// synchronously, which is the contract the maintenance layer is proven
-// against; batching never reorders maintenance relative to its base delta.
-func (b *WriteBatch) flushLocked() error {
+// flushLocked is the group commit. Caller holds b.mu; trigger names what
+// initiated the flush (explicit, rows, interval or close) for the trace.
+// The plan's steps apply strictly in sequence — base delta, then one
+// maintenance pass per view — so the flush is equivalent to running the net
+// statements synchronously, which is the contract the maintenance layer is
+// proven against; batching never reorders maintenance relative to its base
+// delta. Readers are isolated for the whole duration: view and base-table
+// epochs republish only after every step has committed.
+func (b *WriteBatch) flushLocked(trigger string) error {
 	if b.q.Statements() == 0 {
 		return nil
 	}
@@ -280,6 +339,7 @@ func (b *WriteBatch) flushLocked() error {
 
 	root := b.opts.Tracer.StartSpan("view.flush").
 		SetStr("apply", apply).
+		SetStr("trigger", trigger).
 		SetInt("statements", int64(statements)).
 		SetInt("rows_staged", int64(staged)).
 		SetInt("rows_flushed", int64(netRows)).
@@ -296,6 +356,9 @@ func (b *WriteBatch) flushLocked() error {
 			b.opts.Metrics.Add("view.flush.errors", 1)
 			return err
 		}
+		// Views published their epochs at changeset commit; now that the
+		// whole flush has committed, publish the base tables'.
+		b.db.cat.PublishEpochs()
 	}
 
 	b.q.Reset()

@@ -23,6 +23,14 @@ import (
 // whose iterations the variable outlives — the cross-iteration reuse
 // pattern that per-iteration fresh variables are immune to.
 //
+// Row maps — map types with a row-like element, the building block of the
+// epoch snapshot layer — are held to the copy-on-write discipline: once the
+// bare map is stored downstream (published into a snapshot), an in-place
+// write m[k] = x, delete(m, k), or clear(m) mutates state a pinned reader
+// already observes. The sanctioned idiom is reassigning a fresh map
+// (m = make(...)) after the publish; such a reassignment resets tracking,
+// so only writes that reach the escaped map are reported.
+//
 // The same discipline applies to exec.Batch scratch buffers: b.Rows is
 // refilled in place by every Source.Next(&b) call, so a bare b.Rows stored
 // downstream and later reused — Next, b.Reset(), b.Append(...), an element
@@ -45,6 +53,9 @@ type rowEvents struct {
 	obj       *types.Var
 	escapes   []token.Pos
 	mutations []token.Pos
+	// resets are fresh-map reassignments (m = make(...)): mutations after a
+	// reset hit the new map, not the escaped one.
+	resets []token.Pos
 }
 
 func runRowAlias(pass *Pass) error {
@@ -76,6 +87,13 @@ func isRowLike(t types.Type) bool {
 		return true
 	}
 	return false
+}
+
+// isRowMapLike reports whether t is a map with a row-like element — the
+// published-base-map shape of the epoch snapshot layer.
+func isRowMapLike(t types.Type) bool {
+	m, ok := t.Underlying().(*types.Map)
+	return ok && isRowLike(m.Elem())
 }
 
 // isBatchLike reports whether t is a Batch scratch container (or a pointer
@@ -111,6 +129,24 @@ func trackedVar(pass *Pass, e ast.Expr) *types.Var {
 	return obj
 }
 
+// trackedMapVar resolves e to a variable of row-map type, or nil.
+func trackedMapVar(pass *Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		if obj, ok = pass.Info.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	if obj == nil || !isRowMapLike(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
 // trackedBatchVar resolves e to a variable of Batch (or *Batch) type, or
 // nil.
 func trackedBatchVar(pass *Pass, e ast.Expr) *types.Var {
@@ -141,10 +177,13 @@ func batchRowsOf(pass *Pass, e ast.Expr) *types.Var {
 }
 
 // escapee resolves e to the variable whose backing storage would be
-// retained if e were stored downstream: a row-like variable itself, or the
-// Batch owning a bare b.Rows scratch slice.
+// retained if e were stored downstream: a row-like variable or row map
+// itself, or the Batch owning a bare b.Rows scratch slice.
 func escapee(pass *Pass, e ast.Expr) *types.Var {
 	if v := trackedVar(pass, e); v != nil {
+		return v
+	}
+	if v := trackedMapVar(pass, e); v != nil {
 		return v
 	}
 	return batchRowsOf(pass, e)
@@ -187,18 +226,26 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 
 	events := make(map[*types.Var]*rowEvents)
 	var order []*rowEvents
-	record := func(obj *types.Var, pos token.Pos, escape bool) {
+	eventsOf := func(obj *types.Var) *rowEvents {
 		ev := events[obj]
 		if ev == nil {
 			ev = &rowEvents{obj: obj}
 			events[obj] = ev
 			order = append(order, ev)
 		}
+		return ev
+	}
+	record := func(obj *types.Var, pos token.Pos, escape bool) {
+		ev := eventsOf(obj)
 		if escape {
 			ev.escapes = append(ev.escapes, pos)
 		} else {
 			ev.mutations = append(ev.mutations, pos)
 		}
+	}
+	recordReset := func(obj *types.Var, pos token.Pos) {
+		ev := eventsOf(obj)
+		ev.resets = append(ev.resets, pos)
 	}
 
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -210,6 +257,9 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 				// batch row slot b.Rows[i] = x.
 				if ix, ok := lhs.(*ast.IndexExpr); ok {
 					if v := trackedVar(pass, ix.X); v != nil {
+						record(v, n.Pos(), false)
+					}
+					if v := trackedMapVar(pass, ix.X); v != nil {
 						record(v, n.Pos(), false)
 					}
 					if v := batchRowsOf(pass, ix.X); v != nil {
@@ -242,6 +292,21 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 								record(v, n.Pos(), false)
 								break
 							}
+						}
+					}
+					// A row-map reassigned to a value not built from itself
+					// (m = make(...)) is the copy-on-write swap: later writes
+					// hit the fresh map, not the escaped one.
+					if v := trackedMapVar(pass, lhs); v != nil && len(n.Lhs) == len(n.Rhs) {
+						fresh := true
+						for _, rhs := range n.Rhs {
+							if mentionsVar(pass, rhs, v) {
+								fresh = false
+								break
+							}
+						}
+						if fresh {
+							recordReset(v, n.Pos())
 						}
 					}
 				}
@@ -298,6 +363,14 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 						record(v, n.Pos(), false)
 					}
 				}
+			case "delete", "clear":
+				// delete(m, k) / clear(m) mutate the row map in place: a
+				// published alias observes the removal.
+				if len(n.Args) > 0 {
+					if v := trackedMapVar(pass, n.Args[0]); v != nil {
+						record(v, n.Pos(), false)
+					}
+				}
 			case "Next":
 				// Source.Next(&b) refills the batch's scratch rows in
 				// place: every stored alias of b.Rows observes the next
@@ -323,9 +396,29 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 		return true
 	})
 
-	sameOuterLoop := func(obj *types.Var, a, b token.Pos) bool {
+	sameOuterLoop := func(obj *types.Var, a, b token.Pos) ast.Node {
 		for _, l := range loops {
 			if a >= l.Pos() && a <= l.End() && b >= l.Pos() && b <= l.End() && obj.Pos() < l.Pos() {
+				return l
+			}
+		}
+		return nil
+	}
+	// resetBetween reports whether a fresh-map reassignment separates the
+	// escape from the mutation, so the write hits a different map.
+	resetBetween := func(ev *rowEvents, esc, mut token.Pos) bool {
+		for _, r := range ev.resets {
+			if r > esc && r < mut {
+				return true
+			}
+		}
+		return false
+	}
+	// resetInside reports whether a reset sits in the loop: each iteration
+	// then writes a fresh map, so cross-iteration aliasing cannot occur.
+	resetInside := func(ev *rowEvents, l ast.Node) bool {
+		for _, r := range ev.resets {
+			if r >= l.Pos() && r <= l.End() {
 				return true
 			}
 		}
@@ -339,12 +432,12 @@ func rowAliasFunc(pass *Pass, body *ast.BlockStmt) {
 		reported := false
 		for _, esc := range ev.escapes {
 			for _, mut := range ev.mutations {
-				if mut > esc {
+				if mut > esc && !resetBetween(ev, esc, mut) {
 					pass.Reportf(mut, "%s is stored or emitted at line %d and mutated afterwards; the stored alias observes the write — clone or re-allocate before reuse", ev.obj.Name(), pass.Line(esc))
 					reported = true
 					break
 				}
-				if sameOuterLoop(ev.obj, esc, mut) {
+				if l := sameOuterLoop(ev.obj, esc, mut); l != nil && !resetInside(ev, l) {
 					pass.Reportf(esc, "%s is declared outside the loop, stored here and reused at line %d on a later iteration; the stored alias observes the reuse — declare it inside the loop or clone it", ev.obj.Name(), pass.Line(mut))
 					reported = true
 					break

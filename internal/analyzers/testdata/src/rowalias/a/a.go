@@ -185,3 +185,62 @@ func literalRetained(s *source, b *Batch) view {
 	s.Next(b) // want `stored or emitted at line \d+ and mutated afterwards`
 	return f
 }
+
+// Snap mirrors an epoch snapshot: a published base map of rows that pinned
+// readers keep resolving against.
+type Snap struct{ base map[string]Row }
+
+var published []map[string]Row
+
+// publishThenWrite hands the live map to the snapshot and keeps writing
+// into it: the pinned snapshot observes the write.
+func publishThenWrite(s *Snap, m map[string]Row, r Row) {
+	s.base = m
+	m["k"] = r // want `stored or emitted at line \d+ and mutated afterwards`
+}
+
+// publishThenDelete removes a key from the map a snapshot already pinned.
+func publishThenDelete(s *Snap, m map[string]Row) {
+	s.base = m
+	delete(m, "k") // want `stored or emitted at line \d+ and mutated afterwards`
+}
+
+// publishThenClear empties the published map in place.
+func publishThenClear(m map[string]Row) {
+	published = append(published, m)
+	clear(m) // want `stored or emitted at line \d+ and mutated afterwards`
+}
+
+// copyOnWritePublish is the sanctioned epoch idiom: publish, then swap in a
+// fresh map before the next write — the published epoch stays immutable.
+func copyOnWritePublish(s *Snap, m map[string]Row, r Row) {
+	s.base = m
+	m = make(map[string]Row)
+	m["k"] = r
+	_ = m
+}
+
+// stagePerEpoch reuses one staging map across iterations while publishing
+// it each time: every published epoch aliases the same live map.
+func stagePerEpoch(rows []Row) []map[string]Row {
+	var epochs []map[string]Row
+	m := make(map[string]Row)
+	for i, r := range rows {
+		m[keyOf(i)] = r
+		epochs = append(epochs, m) // want `declared outside the loop, stored here and reused at line \d+`
+	}
+	return epochs
+}
+
+// freshMapPerEpoch rebuilds the staging map at the top of each iteration:
+// the published epochs never share storage with later writes.
+func freshMapPerEpoch(rows []Row) []map[string]Row {
+	var epochs []map[string]Row
+	m := map[string]Row{}
+	for i, r := range rows {
+		m = make(map[string]Row, 1)
+		m[keyOf(i)] = r
+		epochs = append(epochs, m)
+	}
+	return epochs
+}

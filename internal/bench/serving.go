@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ojv"
+)
+
+// ServingResult is one read-while-write experiment: concurrent readers pin
+// view snapshots and materialize their rows while a writer streams 1-row
+// lineitem inserts through a WriteBatch whose flushes run on the async
+// maintenance goroutine. Reader latencies are reported twice — sampled
+// during the write phase (flushes in flight) and on the idle final view —
+// so the P99Ratio quantifies how much a flush perturbs readers. The final
+// view state is verified bit-identical to a synchronous twin that applied
+// the same stream one maintenance run per statement.
+type ServingResult struct {
+	Statements  int
+	FlushRows   int
+	Readers     int
+	Elapsed     time.Duration // write-phase wall clock
+	StmtsPerSec float64
+	// Flushes counts maintenance runs; FlushDurP50/FlushDurMax summarize
+	// their durations (from the view.flush trace spans).
+	Flushes     int64
+	FlushDurP50 time.Duration
+	FlushDurMax time.Duration
+	// FlushReads/IdleReads count snapshot reads in each phase; the P50/95/99
+	// are per-read latencies (pin snapshot + materialize all rows).
+	FlushReads                   int
+	IdleReads                    int
+	FlushP50, FlushP95, FlushP99 time.Duration
+	IdleP50, IdleP95, IdleP99    time.Duration
+	// P99Ratio = FlushP99 / IdleP99; the PR 8 target is <= 2.0.
+	P99Ratio      float64
+	FinalViewRows int
+}
+
+// snapshotRead is the measured reader operation: pin the current epoch and
+// materialize every view row from it. Returns the latency, plus the row
+// count for a cheap consistency check against Len.
+func snapshotRead(v *ojv.View) (time.Duration, error) {
+	t0 := time.Now()
+	s := v.Snapshot()
+	if s == nil {
+		return 0, fmt.Errorf("bench: view has no snapshot support")
+	}
+	rows := s.Rows()
+	d := time.Since(t0)
+	if len(rows) != s.Len() {
+		return 0, fmt.Errorf("bench: snapshot epoch %d: Len()=%d but Rows() returned %d", s.Epoch(), s.Len(), len(rows))
+	}
+	return d, nil
+}
+
+// readUntil spawns readers goroutines that run snapshotRead in a loop until
+// stop is closed, and returns the merged sorted latencies (or the first
+// read error).
+func readUntil(v *ojv.View, readers int, stop <-chan struct{}) ([]time.Duration, error) {
+	var wg sync.WaitGroup
+	latCh := make(chan []time.Duration, readers)
+	errCh := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lats []time.Duration
+			for {
+				d, err := snapshotRead(v)
+				if err != nil {
+					errCh <- err
+					latCh <- lats
+					return
+				}
+				lats = append(lats, d)
+				select {
+				case <-stop:
+					latCh <- lats
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(latCh)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	var all []time.Duration
+	for ls := range latCh {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all, nil
+}
+
+// RunServing runs the read-while-write experiment reps times (median by
+// write-phase elapsed) and verifies every rep's final view state against a
+// synchronous twin built first from the identical stream.
+func RunServing(sf float64, seed int64, statements, flushRows, readers, reps int) (ServingResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if readers < 1 {
+		readers = 1
+	}
+
+	// Synchronous twin: the same stream, one maintenance run per statement.
+	// Its fingerprint is the bit-identity reference for every async rep.
+	db, v, stream, err := newWriteDB(sf, seed, statements)
+	if err != nil {
+		return ServingResult{}, err
+	}
+	for _, row := range stream {
+		if err := db.Insert("lineitem", []ojv.Row{row}); err != nil {
+			return ServingResult{}, err
+		}
+	}
+	if err := v.Check(); err != nil {
+		return ServingResult{}, err
+	}
+	wantState := viewFingerprint(v)
+	wantRows := v.Len()
+
+	runOnce := func() (ServingResult, error) {
+		db, v, stream, err := newWriteDB(sf, seed, statements)
+		if err != nil {
+			return ServingResult{}, err
+		}
+		m := ojv.NewMetrics()
+		tr := ojv.NewTracer()
+		wb := db.NewWriteBatch(ojv.BatchOptions{FlushRows: flushRows, Metrics: m, Tracer: tr})
+
+		// Write phase: readers sample while the stream is staged and the
+		// maintenance goroutine group-commits behind them.
+		stop := make(chan struct{})
+		type readPhase struct {
+			lats []time.Duration
+			err  error
+		}
+		phaseCh := make(chan readPhase, 1)
+		go func() {
+			lats, err := readUntil(v, readers, stop)
+			phaseCh <- readPhase{lats, err}
+		}()
+		runtime.GC()
+		t0 := time.Now()
+		for _, row := range stream {
+			if err := wb.Insert("lineitem", []ojv.Row{row}); err != nil {
+				close(stop)
+				<-phaseCh
+				return ServingResult{}, err
+			}
+		}
+		if err := wb.Flush(); err != nil {
+			close(stop)
+			<-phaseCh
+			return ServingResult{}, err
+		}
+		elapsed := time.Since(t0)
+		close(stop)
+		flushPhase := <-phaseCh
+		if err := wb.Close(); err != nil {
+			return ServingResult{}, err
+		}
+		if flushPhase.err != nil {
+			return ServingResult{}, flushPhase.err
+		}
+
+		// Idle phase: the same readers against the settled final view, for
+		// the same wall-clock window.
+		idleStop := make(chan struct{})
+		time.AfterFunc(elapsed, func() { close(idleStop) })
+		idle, err := readUntil(v, readers, idleStop)
+		if err != nil {
+			return ServingResult{}, err
+		}
+
+		if err := v.Check(); err != nil {
+			return ServingResult{}, err
+		}
+		if got := viewFingerprint(v); got != wantState {
+			return ServingResult{}, fmt.Errorf("bench: serving final view state differs from synchronous twin")
+		}
+		if v.Len() != wantRows {
+			return ServingResult{}, fmt.Errorf("bench: serving view rows %d != synchronous twin %d", v.Len(), wantRows)
+		}
+
+		var flushDurs []time.Duration
+		for _, root := range tr.Roots() {
+			if root.Name() == "view.flush" {
+				flushDurs = append(flushDurs, root.Duration())
+			}
+		}
+		sort.Slice(flushDurs, func(i, j int) bool { return flushDurs[i] < flushDurs[j] })
+		r := ServingResult{
+			Statements:    statements,
+			FlushRows:     flushRows,
+			Readers:       readers,
+			Elapsed:       elapsed,
+			StmtsPerSec:   float64(statements) / elapsed.Seconds(),
+			Flushes:       m.Snapshot()["view.flush.count"],
+			FlushDurP50:   percentile(flushDurs, 0.50),
+			FlushReads:    len(flushPhase.lats),
+			IdleReads:     len(idle),
+			FlushP50:      percentile(flushPhase.lats, 0.50),
+			FlushP95:      percentile(flushPhase.lats, 0.95),
+			FlushP99:      percentile(flushPhase.lats, 0.99),
+			IdleP50:       percentile(idle, 0.50),
+			IdleP95:       percentile(idle, 0.95),
+			IdleP99:       percentile(idle, 0.99),
+			FinalViewRows: v.Len(),
+		}
+		if n := len(flushDurs); n > 0 {
+			r.FlushDurMax = flushDurs[n-1]
+		}
+		if r.IdleP99 > 0 {
+			r.P99Ratio = float64(r.FlushP99) / float64(r.IdleP99)
+		}
+		return r, nil
+	}
+
+	rs := make([]ServingResult, reps)
+	for i := range rs {
+		r, err := runOnce()
+		if err != nil {
+			return ServingResult{}, err
+		}
+		rs[i] = r
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Elapsed < rs[j].Elapsed })
+	return rs[len(rs)/2], nil
+}

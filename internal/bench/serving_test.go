@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestRunServingSmall smoke-tests the read-while-write harness on a small
+// stream; the harness itself verifies the async run's final view state
+// bit-identical to the synchronous twin. Timing ratios are not asserted —
+// they are workload measurements, not invariants a loaded CI box can keep.
+func TestRunServingSmall(t *testing.T) {
+	r, err := RunServing(0.002, 1, 100, 25, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Statements != 100 || r.StmtsPerSec <= 0 || r.FinalViewRows <= 0 {
+		t.Errorf("degenerate result: %+v", r)
+	}
+	if r.Flushes < 1 {
+		t.Errorf("async run recorded %d flushes, want >= 1", r.Flushes)
+	}
+	if r.FlushReads < 1 || r.IdleReads < 1 {
+		t.Errorf("phases under-sampled: flush=%d idle=%d reads", r.FlushReads, r.IdleReads)
+	}
+	if r.FlushP99 <= 0 || r.IdleP99 <= 0 {
+		t.Errorf("missing latency percentiles: %+v", r)
+	}
+}

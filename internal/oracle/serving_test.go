@@ -1,0 +1,27 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"ojv/internal/view"
+)
+
+// TestServingCorpus runs the concurrent-reader differential harness over a
+// small seed corpus and both secondary-delta strategies. CI's race-serving
+// job runs it under -race -count=2, which is where the harness earns its
+// keep: any read of mid-flush state is both a fingerprint mismatch and a
+// race report.
+func TestServingCorpus(t *testing.T) {
+	for _, strategy := range []view.Strategy{view.StrategyFromView, view.StrategyFromBase} {
+		for seed := int64(9000); seed < 9004; seed++ {
+			seed, strategy := seed, strategy
+			t.Run(fmt.Sprintf("seed=%d/strategy=%v", seed, strategy), func(t *testing.T) {
+				t.Parallel()
+				if err := RunServingSeed(seed, strategy, 25, 20, 4); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -15,6 +15,9 @@ type Catalog struct {
 	inbound map[string][]inboundFK
 	// version counts committed changes; see Version in prevalidated.go.
 	version uint64
+	// epochs holds the publish counter and the lock-free table directory
+	// for snapshot readers; see epoch.go.
+	epochs catalogEpochs
 }
 
 type inboundFK struct {
@@ -57,6 +60,9 @@ func (c *Catalog) CreateTable(name string, cols []Column, key ...string) (*Table
 	c.tables[name] = t
 	c.names = append(c.names, name)
 	c.version++
+	if c.epochs.dir.Load() != nil {
+		c.publishDir()
+	}
 	return t, nil
 }
 

@@ -1,0 +1,206 @@
+package rel
+
+import (
+	"fmt"
+	"testing"
+)
+
+func epochFixture(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	if _, err := c.CreateTable("t", []Column{IntColumn("id"), StrColumn("s")}, "id"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("t", "ix_s", "s"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func IntColumn(name string) Column { return Column{Name: name, Kind: KindInt} }
+func StrColumn(name string) Column { return Column{Name: name, Kind: KindString} }
+
+func snapKeys(s *TableSnapshot) map[int64]string {
+	out := make(map[int64]string)
+	for _, r := range s.Rows() {
+		out[r[0].AsInt()] = r[1].AsString()
+	}
+	return out
+}
+
+// TestEpochPinnedSnapshotImmutable pins an epoch, mutates the live table
+// through several more publishes, and verifies the pinned epoch still
+// reads exactly the state it was published with.
+func TestEpochPinnedSnapshotImmutable(t *testing.T) {
+	c := epochFixture(t)
+	if c.Snapshot("t") != nil {
+		t.Fatal("snapshot published before first PublishEpochs")
+	}
+	if err := c.Insert("t", []Row{{Int(1), Str("a")}, {Int(2), Str("b")}}); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishEpochs()
+	pinned := c.Snapshot("t")
+	if pinned == nil || pinned.Len() != 2 {
+		t.Fatalf("pinned snapshot = %v", pinned)
+	}
+
+	// Mutate across many epochs: updates, deletes, inserts.
+	for i := int64(3); i < 40; i++ {
+		if err := c.Insert("t", []Row{{Int(i), Str(fmt.Sprintf("v%d", i))}}); err != nil {
+			t.Fatal(err)
+		}
+		c.PublishEpochs()
+	}
+	if _, err := c.Update("t", []Value{Int(1)}, Row{Int(1), Str("a2")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("t", [][]Value{{Int(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishEpochs()
+
+	got := snapKeys(pinned)
+	if len(got) != 2 || got[1] != "a" || got[2] != "b" {
+		t.Fatalf("pinned epoch changed: %v", got)
+	}
+	if r, ok := pinned.Get(Int(1)); !ok || r[1].AsString() != "a" {
+		t.Fatalf("pinned Get(1) = %v, %v", r, ok)
+	}
+
+	cur := c.Snapshot("t")
+	if cur.Epoch() <= pinned.Epoch() {
+		t.Fatalf("epoch not monotonic: %d then %d", pinned.Epoch(), cur.Epoch())
+	}
+	got = snapKeys(cur)
+	if got[1] != "a2" {
+		t.Fatalf("current epoch missed the update: %v", got[1])
+	}
+	if _, ok := cur.Get(Int(2)); ok {
+		t.Fatal("current epoch still has the deleted row")
+	}
+	if cur.Len() != len(got) {
+		t.Fatalf("Len = %d, Range saw %d", cur.Len(), len(got))
+	}
+}
+
+// TestEpochIndexSnapshot verifies index buckets are copied at publish and
+// track mutations across epochs.
+func TestEpochIndexSnapshot(t *testing.T) {
+	c := epochFixture(t)
+	if err := c.Insert("t", []Row{{Int(1), Str("x")}, {Int(2), Str("x")}, {Int(3), Str("y")}}); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishEpochs()
+	tab := c.Table("t")
+	snap := c.Snapshot("t")
+	ix := snap.IndexOnSet(tab.IndexOn([]int{1}).Cols())
+	if ix == nil {
+		t.Fatal("index snapshot missing")
+	}
+	key := EncodeValues(Str("x"))
+	bucket := ix.Lookup(key)
+	if len(bucket) != 2 {
+		t.Fatalf("bucket len = %d, want 2", len(bucket))
+	}
+
+	// Deleting a row compacts the live bucket in place; the snapshot bucket
+	// must be unaffected, and the next epoch must see the shrink.
+	if _, err := c.Delete("t", [][]Value{{Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishEpochs()
+	if len(ix.Lookup(key)) != 2 {
+		t.Fatal("pinned index bucket changed after delete")
+	}
+	for _, r := range bucket {
+		if r[0].IsNull() {
+			t.Fatal("pinned bucket row torn")
+		}
+	}
+	ix2 := c.Snapshot("t").IndexOnSet(tab.IndexOn([]int{1}).Cols())
+	if got := len(ix2.Lookup(key)); got != 1 {
+		t.Fatalf("new epoch bucket len = %d, want 1", got)
+	}
+}
+
+// TestEpochIndexCreatedAfterPublish verifies an index created between
+// publishes appears fully populated in the next snapshot.
+func TestEpochIndexCreatedAfterPublish(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.CreateTable("t", []Column{IntColumn("id"), IntColumn("g")}, "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("t", []Row{{Int(1), Int(7)}, {Int(2), Int(7)}}); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishEpochs()
+	if _, err := c.CreateIndex("t", "ix_g", "g"); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishEpochs()
+	ix := c.Snapshot("t").IndexOnSet([]int{1})
+	if ix == nil {
+		t.Fatal("new index missing from snapshot")
+	}
+	if got := len(ix.Lookup(EncodeValues(Int(7)))); got != 2 {
+		t.Fatalf("bucket len = %d, want 2", got)
+	}
+}
+
+// TestEpochCompaction drives enough publishes to force overlay compaction
+// and checks the compacted epoch still agrees with the live table.
+func TestEpochCompaction(t *testing.T) {
+	c := epochFixture(t)
+	c.PublishEpochs()
+	for i := int64(0); i < 200; i++ {
+		if err := c.Insert("t", []Row{{Int(i), Str("v")}}); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if _, err := c.Delete("t", [][]Value{{Int(i)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.PublishEpochs()
+	}
+	snap := c.Snapshot("t")
+	if snap.Len() != c.Table("t").Len() {
+		t.Fatalf("snapshot len %d != live len %d", snap.Len(), c.Table("t").Len())
+	}
+	if len(snap.rows.overlays) > maxOverlays {
+		t.Fatalf("overlay chain grew unbounded: %d", len(snap.rows.overlays))
+	}
+	for _, r := range snap.Rows() {
+		if _, ok := c.Table("t").Get(r[0]); !ok {
+			t.Fatalf("snapshot row %v missing live", r)
+		}
+	}
+}
+
+// TestEpochRollbackNeutral verifies that a mutation rolled back before the
+// publish leaves the next epoch identical to the previous one.
+func TestEpochRollbackNeutral(t *testing.T) {
+	c := epochFixture(t)
+	if err := c.Insert("t", []Row{{Int(1), Str("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishEpochs()
+	before := snapKeys(c.Snapshot("t"))
+
+	rows := []Row{{Int(2), Str("b")}}
+	if err := c.Insert("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RollbackInsert("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishEpochs()
+	after := snapKeys(c.Snapshot("t"))
+	if len(after) != len(before) || after[1] != "a" {
+		t.Fatalf("rolled-back mutation leaked into the epoch: %v", after)
+	}
+	if c.Snapshot("t").Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Snapshot("t").Len())
+	}
+}

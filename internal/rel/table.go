@@ -2,6 +2,7 @@ package rel
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // ForeignKey declares that Cols of the owning table reference RefCols (a
@@ -19,6 +20,9 @@ type Index struct {
 	name string
 	cols []int
 	m    map[string][]Row
+	// dirty tracks bucket keys touched since the last epoch publish; nil
+	// until the owning catalog first publishes (see epoch.go).
+	dirty map[string]struct{}
 }
 
 // Name returns the index name.
@@ -39,6 +43,9 @@ func (ix *Index) Cols() []int { return ix.cols }
 func (ix *Index) add(row Row) {
 	k := EncodeRowCols(row, ix.cols)
 	ix.m[k] = append(ix.m[k], row)
+	if ix.dirty != nil {
+		ix.dirty[k] = struct{}{}
+	}
 }
 
 func (ix *Index) remove(row Row, pkCols []int) {
@@ -57,6 +64,9 @@ func (ix *Index) remove(row Row, pkCols []int) {
 	} else {
 		ix.m[k] = bucket
 	}
+	if ix.dirty != nil {
+		ix.dirty[k] = struct{}{}
+	}
 }
 
 // Table is an in-memory base table with a unique non-null key (the paper's
@@ -68,6 +78,11 @@ type Table struct {
 	rows    map[string]Row
 	indexes []*Index
 	fks     []ForeignKey
+	// dirty tracks row keys touched since the last epoch publish; nil until
+	// the owning catalog first publishes. epoch is the current published
+	// snapshot, readable without locks (see epoch.go).
+	dirty map[string]struct{}
+	epoch atomic.Pointer[TableSnapshot]
 }
 
 // Name returns the table name.
@@ -133,6 +148,7 @@ func (t *Table) ContainsKeyBytes(encodedKey []byte) bool {
 func (t *Table) insertPrevalidated(row Row, k string) {
 	row = row.Clone()
 	t.rows[k] = row
+	t.markDirty(k)
 	for _, ix := range t.indexes {
 		ix.add(row)
 	}
@@ -222,6 +238,7 @@ func (t *Table) insert(row Row) error {
 	// row slices after Insert returns.
 	row = row.Clone()
 	t.rows[k] = row
+	t.markDirty(k)
 	for _, ix := range t.indexes {
 		ix.add(row)
 	}
@@ -234,6 +251,7 @@ func (t *Table) deleteByKey(k string) (Row, bool) {
 		return nil, false
 	}
 	delete(t.rows, k)
+	t.markDirty(k)
 	for _, ix := range t.indexes {
 		ix.remove(row, t.keyCols)
 	}

@@ -2,7 +2,6 @@ package view
 
 import (
 	"fmt"
-	"sort"
 
 	"ojv/internal/algebra"
 	"ojv/internal/exec"
@@ -24,6 +23,9 @@ type AggMaterialized struct {
 	schema         rel.Schema
 	nullableTables []string
 	groups         map[string]*aggGroup
+	// dirtyGroups tracks group keys touched since the last epoch publish;
+	// nil until the maintainer enables snapshots (see epoch.go).
+	dirtyGroups map[string]struct{}
 }
 
 type aggGroup struct {
@@ -162,6 +164,9 @@ func (a *AggMaterialized) fold(cs *Changeset, site string, rows []rel.Row, schem
 			}
 			cs.snapshotGroup(k)
 		}
+		if a.dirtyGroups != nil {
+			a.dirtyGroups[k] = struct{}{}
+		}
 		g := a.groups[k]
 		if g == nil {
 			if sign < 0 {
@@ -205,43 +210,40 @@ func (a *AggMaterialized) fold(cs *Changeset, site string, rows []rel.Row, schem
 	return nil
 }
 
+// aggValue renders one aggregate of a group with standard SQL NULL
+// semantics.
+func (g *aggGroup) aggValue(ag algebra.Aggregate, i int) rel.Value {
+	acc := g.aggs[i]
+	switch ag.Func {
+	case algebra.AggCount:
+		if ag.Col == (algebra.ColRef{}) {
+			return rel.Int(g.rowCount)
+		}
+		return rel.Int(acc.nonNull)
+	case algebra.AggSum:
+		if acc.nonNull == 0 {
+			return rel.Null
+		}
+		return acc.sum
+	case algebra.AggAvg:
+		if acc.nonNull == 0 {
+			return rel.Null
+		}
+		return rel.Float(acc.sum.AsFloat() / float64(acc.nonNull))
+	}
+	return rel.Null
+}
+
 // Rows materializes the SQL-visible contents: group columns followed by the
 // aggregate values with standard NULL semantics.
 func (a *AggMaterialized) Rows() []rel.Row {
-	spec := a.def.Agg
-	out := make([]rel.Row, 0, len(a.groups))
-	for _, g := range a.groups {
-		row := make(rel.Row, 0, len(a.schema))
-		row = append(row, g.key...)
-		for i, ag := range spec.Aggs {
-			acc := g.aggs[i]
-			switch ag.Func {
-			case algebra.AggCount:
-				if ag.Col == (algebra.ColRef{}) {
-					row = append(row, rel.Int(g.rowCount))
-				} else {
-					row = append(row, rel.Int(acc.nonNull))
-				}
-			case algebra.AggSum:
-				if acc.nonNull == 0 {
-					row = append(row, rel.Null)
-				} else {
-					row = append(row, acc.sum)
-				}
-			case algebra.AggAvg:
-				if acc.nonNull == 0 {
-					row = append(row, rel.Null)
-				} else {
-					row = append(row, rel.Float(acc.sum.AsFloat()/float64(acc.nonNull)))
-				}
+	return a.rowsFrom(len(a.groups), func(f func(string, *aggGroup) bool) {
+		for k, g := range a.groups {
+			if !f(k, g) {
+				return
 			}
 		}
-		out = append(out, row)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		return rel.EncodeValues(out[i]...) < rel.EncodeValues(out[j]...)
 	})
-	return out
 }
 
 // applyAgg maintains an aggregation view: the aggregated primary delta is

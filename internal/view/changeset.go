@@ -164,6 +164,12 @@ func (cs *Changeset) Rollback() error {
 				return fmt.Errorf("view %s: rollback: %v; re-materialize the view", cs.m.def.Name, err)
 			}
 		case undoAggGroup:
+			// The direct map writes below bypass fold, so the epoch dirty set
+			// must learn the key here; the rolled-back group resolves to its
+			// unchanged committed state at the next publish.
+			if cs.m.agg.dirtyGroups != nil {
+				cs.m.agg.dirtyGroups[r.key] = struct{}{}
+			}
 			if r.group == nil {
 				//ojvlint:ignore failsite rollback must never consult the fault hook: undo replay has to succeed unconditionally
 				delete(cs.m.agg.groups, r.key)

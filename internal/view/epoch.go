@@ -1,0 +1,243 @@
+package view
+
+import (
+	"sort"
+
+	"ojv/internal/rel"
+)
+
+// View epochs: immutable snapshots of a stored view, published at
+// changeset commit and read without locks.
+//
+// The Maintainer owns one atomic pointer to the current epoch. While a
+// maintenance run stages mutations (and possibly rolls them back), the
+// pointer still names the last committed epoch, so concurrent readers
+// never observe torn or mid-flush state; CommitStaged resolves the keys
+// the run touched against the now-committed stored view and publishes the
+// next epoch in O(delta) (see rel/epoch.go for the overlay-chain
+// representation and its compaction policy).
+//
+// Epochs are per view. A reader pinning snapshots of two views (or a view
+// and a base table) between two commits may see one side's new epoch and
+// the other's old one; within a single snapshot the state is always a
+// committed epoch, and per-view sequence numbers are monotonic.
+
+// mvEpoch is one committed epoch of a non-aggregated view: the keyed rows
+// plus the per-term pattern counters that back TermCardinality.
+type mvEpoch struct {
+	rows     *rel.EpochMap[string, rel.Row]
+	patterns *rel.EpochMap[uint32, int]
+}
+
+// aggEpoch is one committed epoch of an aggregation view. Groups are
+// cloned at publish time: the live fold mutates group accumulators in
+// place, and a published epoch must never alias them.
+type aggEpoch struct {
+	groups *rel.EpochMap[string, *aggGroup]
+}
+
+// Snapshot is a pinned, immutable view state. All methods are safe for
+// unsynchronized concurrent use; the configuration it borrows from the
+// stored view (schema, table order, key columns) is immutable after view
+// creation.
+type Snapshot struct {
+	mv  *Materialized
+	agg *AggMaterialized
+	mve *mvEpoch
+	age *aggEpoch
+}
+
+// Epoch returns the snapshot's per-view sequence number; successive
+// published epochs of one view carry strictly increasing numbers.
+func (s *Snapshot) Epoch() uint64 {
+	if s.age != nil {
+		return s.age.groups.Seq()
+	}
+	return s.mve.rows.Seq()
+}
+
+// Schema returns the view's output schema.
+func (s *Snapshot) Schema() rel.Schema {
+	if s.agg != nil {
+		return s.agg.schema
+	}
+	return s.mv.schema
+}
+
+// Len returns the number of rows (or groups) as of the epoch.
+func (s *Snapshot) Len() int {
+	if s.age != nil {
+		return s.age.groups.Len()
+	}
+	return s.mve.rows.Len()
+}
+
+// Rows returns the view contents as of the epoch. The slice is fresh;
+// for aggregation views the rows are assembled per call with SQL
+// aggregate NULL semantics, sorted like AggMaterialized.Rows.
+func (s *Snapshot) Rows() []rel.Row {
+	if s.age != nil {
+		return s.agg.rowsFrom(s.age.groups.Len(), s.age.groups.Range)
+	}
+	out := make([]rel.Row, 0, s.mve.rows.Len())
+	s.mve.rows.Range(func(_ string, r rel.Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// SortedRows returns Rows sorted by encoded value, for deterministic
+// fingerprinting in tests and tools.
+func (s *Snapshot) SortedRows() []rel.Row {
+	rows := s.Rows()
+	sort.Slice(rows, func(i, j int) bool {
+		return rel.EncodeValues(rows[i]...) < rel.EncodeValues(rows[j]...)
+	})
+	return rows
+}
+
+// TermCardinality returns the number of rows whose source-table set is
+// exactly the given set, as of the epoch; 0 for aggregation views.
+func (s *Snapshot) TermCardinality(tables []string) int {
+	if s.mve == nil {
+		return 0
+	}
+	n, _ := s.mve.patterns.Get(s.mv.patternOf(tables))
+	return n
+}
+
+// Snapshot returns the current committed epoch, or nil when snapshots
+// were never enabled (direct Maintainer users pay only this nil check and
+// a nil check per stored-view mutation).
+func (m *Maintainer) Snapshot() *Snapshot {
+	if m.agg != nil {
+		e := m.aggEp.Load()
+		if e == nil {
+			return nil
+		}
+		m.pins.Add(1)
+		return &Snapshot{agg: m.agg, age: e}
+	}
+	e := m.mvEp.Load()
+	if e == nil {
+		return nil
+	}
+	m.pins.Add(1)
+	return &Snapshot{mv: m.mv, mve: e}
+}
+
+// EnableSnapshots publishes the first epoch and switches on dirty-key
+// tracking, making Snapshot non-nil from here on. The Database facade
+// calls it under its write lock when it registers a view; callers must
+// hold whatever lock serializes maintenance.
+func (m *Maintainer) EnableSnapshots() {
+	m.pins = m.opts.Metrics.Counter("view.epoch.pins")
+	m.publishFull()
+}
+
+// publishFull copies the stored view into a fresh epoch and resets dirty
+// tracking. Used at enablement and after Materialize, which replaces the
+// stored maps wholesale.
+func (m *Maintainer) publishFull() {
+	m.epochSeq++
+	if m.agg != nil {
+		a := m.agg
+		a.dirtyGroups = make(map[string]struct{})
+		m.aggEp.Store(&aggEpoch{groups: rel.NewFullEpoch(m.epochSeq, a.groups, (*aggGroup).clone)})
+	} else {
+		mv := m.mv
+		mv.dirtyKeys = make(map[string]struct{})
+		mv.dirtyPatterns = make(map[uint32]struct{})
+		m.mvEp.Store(&mvEpoch{
+			rows:     rel.NewFullEpoch(m.epochSeq, mv.rows, nil),
+			patterns: rel.NewFullEpoch(m.epochSeq, mv.patternCount, nil),
+		})
+	}
+	m.countPublish(false)
+}
+
+// publishEpoch publishes the epoch after a committed changeset: every key
+// the run touched (including keys whose mutation was undone — they
+// resolve to their unchanged committed value) is resolved against the
+// stored view into one overlay. No-op until EnableSnapshots. Callers must
+// hold whatever lock serializes maintenance.
+func (m *Maintainer) publishEpoch() {
+	if m.agg != nil {
+		prev := m.aggEp.Load()
+		if prev == nil {
+			return
+		}
+		a := m.agg
+		if len(a.dirtyGroups) == 0 {
+			return
+		}
+		m.epochSeq++
+		groups, compacted := rel.PublishEpoch(prev.groups, m.epochSeq, a.dirtyGroups, func(k string) (*aggGroup, bool) {
+			g, ok := a.groups[k]
+			return g, ok
+		}, (*aggGroup).clone)
+		clear(a.dirtyGroups)
+		m.aggEp.Store(&aggEpoch{groups: groups})
+		m.countPublish(compacted)
+		return
+	}
+	prev := m.mvEp.Load()
+	if prev == nil {
+		return
+	}
+	mv := m.mv
+	if len(mv.dirtyKeys) == 0 && len(mv.dirtyPatterns) == 0 {
+		return
+	}
+	m.epochSeq++
+	rows, compacted := rel.PublishEpoch(prev.rows, m.epochSeq, mv.dirtyKeys, func(k string) (rel.Row, bool) {
+		r, ok := mv.rows[k]
+		return r, ok
+	}, nil)
+	patterns, pCompacted := rel.PublishEpoch(prev.patterns, m.epochSeq, mv.dirtyPatterns, func(p uint32) (int, bool) {
+		n, ok := mv.patternCount[p]
+		return n, ok
+	}, nil)
+	clear(mv.dirtyKeys)
+	clear(mv.dirtyPatterns)
+	m.mvEp.Store(&mvEpoch{rows: rows, patterns: patterns})
+	m.countPublish(compacted || pCompacted)
+}
+
+// snapshotsEnabled reports whether EnableSnapshots has run.
+func (m *Maintainer) snapshotsEnabled() bool {
+	if m.agg != nil {
+		return m.aggEp.Load() != nil
+	}
+	return m.mvEp.Load() != nil
+}
+
+// countPublish records the epoch metrics for one publish.
+func (m *Maintainer) countPublish(compacted bool) {
+	m.opts.Metrics.Add("view.epoch.published", 1)
+	m.opts.Metrics.Set("view.epoch.seq", int64(m.epochSeq))
+	if compacted {
+		m.opts.Metrics.Add("view.epoch.compactions", 1)
+	}
+}
+
+// rowsFrom assembles the SQL-visible rows of an aggregation view from any
+// group iterator (the live map or a pinned epoch), sorted by encoded row.
+func (a *AggMaterialized) rowsFrom(n int, iter func(func(string, *aggGroup) bool)) []rel.Row {
+	spec := a.def.Agg
+	out := make([]rel.Row, 0, n)
+	iter(func(_ string, g *aggGroup) bool {
+		row := make(rel.Row, 0, len(a.schema))
+		row = append(row, g.key...)
+		for i, ag := range spec.Aggs {
+			row = append(row, g.aggValue(ag, i))
+		}
+		out = append(out, row)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		return rel.EncodeValues(out[i]...) < rel.EncodeValues(out[j]...)
+	})
+	return out
+}

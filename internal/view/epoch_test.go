@@ -1,0 +1,179 @@
+package view
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ojv/internal/rel"
+)
+
+func fingerprintRows(rows []rel.Row) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		sb.WriteString(rel.EncodeValues(r...))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestViewEpochPinnedAcrossCommits pins a snapshot, runs several committed
+// maintenance passes, and verifies the pinned epoch still reads the state
+// it was published with while fresh snapshots track the live view.
+func TestViewEpochPinnedAcrossCommits(t *testing.T) {
+	cat, m := newV1Maintainer(t, false, Options{})
+	if m.Snapshot() != nil {
+		t.Fatal("snapshot exists before EnableSnapshots")
+	}
+	m.EnableSnapshots()
+	pinned := m.Snapshot()
+	if pinned == nil {
+		t.Fatal("no snapshot after EnableSnapshots")
+	}
+	wantPinned := fingerprintRows(pinned.SortedRows())
+	if wantPinned != fingerprintRows(m.Materialized().SortedRows()) {
+		t.Fatal("initial epoch does not match the stored view")
+	}
+
+	lastEpoch := pinned.Epoch()
+	for round := int64(0); round < 5; round++ {
+		runInsert(t, cat, m, "R", insertRowsFor(cat, "R", 4, 100+round, false))
+		runDelete(t, cat, m, "S", deletableKeys(t, cat, "S", 1, false))
+
+		cur := m.Snapshot()
+		if cur.Epoch() <= lastEpoch {
+			t.Fatalf("epoch not monotonic: %d then %d", lastEpoch, cur.Epoch())
+		}
+		lastEpoch = cur.Epoch()
+		if got := fingerprintRows(cur.SortedRows()); got != fingerprintRows(m.Materialized().SortedRows()) {
+			t.Fatalf("round %d: snapshot diverged from stored view", round)
+		}
+		if cur.Len() != m.Materialized().Len() {
+			t.Fatalf("round %d: snapshot Len %d != view Len %d", round, cur.Len(), m.Materialized().Len())
+		}
+	}
+	if got := fingerprintRows(pinned.SortedRows()); got != wantPinned {
+		t.Fatal("pinned epoch changed under maintenance")
+	}
+}
+
+// TestViewEpochRollbackPublishesNothing injects a fault mid-run and checks
+// that the failed (rolled back) run neither publishes a new epoch nor
+// corrupts the next successful publish.
+func TestViewEpochRollbackPublishesNothing(t *testing.T) {
+	var failing bool
+	opts := Options{FailPoint: func(site string) error {
+		if failing {
+			return errors.New("injected at " + site)
+		}
+		return nil
+	}}
+	cat, m := newV1Maintainer(t, false, opts)
+	m.EnableSnapshots()
+	before := m.Snapshot()
+	beforeFP := fingerprintRows(before.SortedRows())
+
+	failing = true
+	rows := insertRowsFor(cat, "R", 6, 300, false)
+	if err := cat.Insert("R", rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OnInsert("R", rows); err == nil {
+		t.Fatal("expected injected fault")
+	}
+	if err := cat.RollbackInsert("R", rows); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Snapshot()
+	if after.Epoch() != before.Epoch() {
+		t.Fatalf("rolled-back run published an epoch: %d -> %d", before.Epoch(), after.Epoch())
+	}
+	if fingerprintRows(after.SortedRows()) != beforeFP {
+		t.Fatal("rolled-back run changed the published state")
+	}
+
+	// The poisoned dirty keys must resolve cleanly on the next real commit.
+	failing = false
+	runInsert(t, cat, m, "R", insertRowsFor(cat, "R", 3, 301, false))
+	cur := m.Snapshot()
+	if got := fingerprintRows(cur.SortedRows()); got != fingerprintRows(m.Materialized().SortedRows()) {
+		t.Fatal("post-rollback publish diverged from stored view")
+	}
+}
+
+// TestViewEpochTermCardinality checks the per-term counters ride along with
+// the epoch: a pinned snapshot keeps the old cardinalities.
+func TestViewEpochTermCardinality(t *testing.T) {
+	cat, m := newV1Maintainer(t, false, Options{})
+	m.EnableSnapshots()
+	pinned := m.Snapshot()
+	tables := m.Materialized().tableOrder
+	before := make([]int, len(tables))
+	for i := range tables {
+		before[i] = pinned.TermCardinality(tables[:i+1])
+	}
+	runInsert(t, cat, m, "R", insertRowsFor(cat, "R", 8, 200, false))
+	for i := range tables {
+		if got := pinned.TermCardinality(tables[:i+1]); got != before[i] {
+			t.Fatalf("pinned TermCardinality(%v) changed: %d -> %d", tables[:i+1], before[i], got)
+		}
+	}
+	cur := m.Snapshot()
+	for i := range tables {
+		if got, want := cur.TermCardinality(tables[:i+1]), m.Materialized().TermCardinality(tables[:i+1]); got != want {
+			t.Fatalf("current TermCardinality(%v) = %d, want %d", tables[:i+1], got, want)
+		}
+	}
+}
+
+// TestAggEpochPinnedAcrossCommits exercises epochs over an aggregation
+// view, where live groups mutate in place and must be cloned at publish.
+func TestAggEpochPinnedAcrossCommits(t *testing.T) {
+	cat, m := newAggMaintainer(t, false)
+	m.EnableSnapshots()
+	pinned := m.Snapshot()
+	wantPinned := fingerprintRows(pinned.Rows())
+
+	for i := int64(0); i < 6; i++ {
+		rows := []rel.Row{{rel.Int(3000 + i), rel.Int(i % 7)}}
+		runInsert(t, cat, m, "C", rows)
+		oRows := []rel.Row{{rel.Int(3000 + i), rel.Int(9000 + i), rel.Int(i)}}
+		runInsert(t, cat, m, "O", oRows)
+	}
+	if got := fingerprintRows(pinned.Rows()); got != wantPinned {
+		t.Fatal("pinned aggregation epoch changed under maintenance (groups aliased?)")
+	}
+	cur := m.Snapshot()
+	if got := fingerprintRows(cur.Rows()); got != fingerprintRows(m.Aggregated().Rows()) {
+		t.Fatal("current aggregation snapshot diverged from stored view")
+	}
+	if cur.Len() != m.Aggregated().Len() {
+		t.Fatalf("snapshot Len %d != view Len %d", cur.Len(), m.Aggregated().Len())
+	}
+	if cur.Epoch() <= pinned.Epoch() {
+		t.Fatal("aggregation epoch not monotonic")
+	}
+}
+
+// TestEpochRematerializePublishesFull verifies Materialize republishes a
+// fresh full epoch when snapshots are enabled.
+func TestEpochRematerializePublishesFull(t *testing.T) {
+	cat, m := newV1Maintainer(t, false, Options{})
+	m.EnableSnapshots()
+	first := m.Snapshot().Epoch()
+	// Mutate the base without maintaining, then rebuild from scratch.
+	rows := insertRowsFor(cat, "R", 5, 400, false)
+	if err := cat.Insert("R", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	cur := m.Snapshot()
+	if cur.Epoch() <= first {
+		t.Fatal("Materialize did not publish a new epoch")
+	}
+	if got := fingerprintRows(cur.SortedRows()); got != fingerprintRows(m.Materialized().SortedRows()) {
+		t.Fatal("rebuilt epoch diverged from stored view")
+	}
+}

@@ -27,6 +27,15 @@ type Maintainer struct {
 	// plan verification), which may race with each other.
 	planMu sync.Mutex
 	plans  map[planKey]*tablePlan
+
+	// mvEp/aggEp hold the current committed epoch once EnableSnapshots has
+	// run (exactly one is used, matching mv/agg); epochSeq is the per-view
+	// publish counter and pins the cached snapshot-pin counter. See
+	// epoch.go.
+	mvEp     atomic.Pointer[mvEpoch]
+	aggEp    atomic.Pointer[aggEpoch]
+	epochSeq uint64
+	pins     *obs.Counter
 }
 
 type planKey struct {
@@ -129,12 +138,21 @@ func (m *Maintainer) Materialized() *Materialized { return m.mv }
 // Aggregated returns the stored aggregation view (nil otherwise).
 func (m *Maintainer) Aggregated() *AggMaterialized { return m.agg }
 
-// Materialize (re)computes the stored contents from scratch.
+// Materialize (re)computes the stored contents from scratch. When
+// snapshots are enabled the rebuilt state publishes as a fresh full epoch
+// (the stored maps were replaced wholesale, so incremental publication
+// does not apply).
 func (m *Maintainer) Materialize() error {
+	var err error
 	if m.agg != nil {
-		return m.agg.Materialize()
+		err = m.agg.Materialize()
+	} else {
+		err = m.mv.Materialize()
 	}
-	return m.mv.Materialize()
+	if err == nil && m.snapshotsEnabled() {
+		m.publishFull()
+	}
+	return err
 }
 
 // Plan returns the compiled maintenance plan for a table (building and
@@ -445,6 +463,7 @@ func (m *Maintainer) CommitStaged(cs *Changeset, stats *MaintStats) {
 	commit := m.opts.Tracer.StartSpan("changeset.commit").
 		SetStr("view", m.def.Name).SetInt("undo_records", int64(stats.UndoRecords))
 	cs.Commit()
+	m.publishEpoch()
 	commit.End()
 	m.opts.Metrics.Add("view.undo.records", int64(stats.UndoRecords))
 	m.opts.Metrics.Add("view.commits", 1)

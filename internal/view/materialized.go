@@ -41,6 +41,12 @@ type Materialized struct {
 	// perTable[t] maps an encoded base-table key to the set of view-row keys
 	// whose t-part equals that tuple. Nil when Options.DisableOrphanIndex.
 	perTable map[string]map[string]map[string]struct{}
+
+	// dirtyKeys/dirtyPatterns track the rows and pattern counters touched
+	// since the last epoch publish; nil until the maintainer enables
+	// snapshots (see epoch.go).
+	dirtyKeys     map[string]struct{}
+	dirtyPatterns map[uint32]struct{}
 }
 
 // newMaterialized wires up the storage for a definition.
@@ -148,6 +154,10 @@ func (m *Materialized) insertRow(row rel.Row) error {
 	}
 	m.rows[k] = row
 	m.patternCount[m.pattern(row)]++
+	if m.dirtyKeys != nil {
+		m.dirtyKeys[k] = struct{}{}
+		m.dirtyPatterns[m.pattern(row)] = struct{}{}
+	}
 	if m.perTable != nil {
 		for _, t := range m.tableOrder {
 			if row[m.witnessCol[t]].IsNull() {
@@ -173,6 +183,10 @@ func (m *Materialized) deleteKey(k string) (rel.Row, bool) {
 	}
 	delete(m.rows, k)
 	m.patternCount[m.pattern(row)]--
+	if m.dirtyKeys != nil {
+		m.dirtyKeys[k] = struct{}{}
+		m.dirtyPatterns[m.pattern(row)] = struct{}{}
+	}
 	if m.perTable != nil {
 		for _, t := range m.tableOrder {
 			if row[m.witnessCol[t]].IsNull() {

@@ -223,9 +223,14 @@ func Avg(c ColRef, name string) Aggregate { return Aggregate{Func: algebra.AggAv
 // incrementally, in the same call — the role the paper's triggers play.
 //
 // A Database is safe for concurrent use: updates (Insert, Delete, Update,
-// CreateView, DDL) serialize behind a write lock, and view reads take a
-// shared read lock, so readers always observe a view state consistent with
-// the base tables.
+// CreateView, DDL) serialize behind a write lock, while view reads pin the
+// view's current committed epoch — an immutable snapshot republished at
+// every commit — so readers never block on, or observe torn state from, an
+// in-flight maintenance run or WriteBatch flush. Epochs are per container:
+// one read sees exactly one committed state of one view (or base table);
+// two reads, or reads of two views, may straddle a commit. Reads that must
+// be consistent with the base tables as a whole (Query answered from base
+// tables, View.Check, Save) still take the shared read lock.
 //
 // Updates are atomic across the base table and every registered view:
 // maintenance stages each view's mutations in an undo-logged changeset, and
@@ -233,23 +238,51 @@ func Avg(c ColRef, name string) Aggregate { return Aggregate{Func: algebra.AggAv
 // so an error from Insert/Delete/Update means "nothing happened" rather
 // than a half-maintained database.
 type Database struct {
-	mu    sync.RWMutex
-	cat   *rel.Catalog
-	views map[string]*View
-	order []string
+	mu  sync.RWMutex
+	cat *rel.Catalog
+	// viewMu guards only the view registry (views, order). It is never held
+	// across maintenance, so view lookups and the Query view-matching scan
+	// stay responsive while a flush holds mu for a whole maintenance run.
+	// Lock order: mu before viewMu, never the reverse.
+	viewMu sync.RWMutex
+	views  map[string]*View
+	order  []string
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{cat: rel.NewCatalog(), views: make(map[string]*View)}
+	db := &Database{cat: rel.NewCatalog(), views: make(map[string]*View)}
+	db.cat.PublishEpochs()
+	return db
 }
 
 // Catalog exposes the underlying catalog (for tools within this module).
+//
+// The returned catalog is NOT synchronized with the database's locks:
+// mutating it, or calling Catalog.Save on it, while statements, flushes or
+// DDL run concurrently is a data race. Use the Database methods (Insert,
+// Save, TableSnapshot, ...) for anything concurrent; reach for the raw
+// catalog only in single-goroutine setup code such as fixtures.
 func (db *Database) Catalog() *rel.Catalog { return db.cat }
 
 // WrapCatalog adopts an existing catalog (e.g. a generated TPC-H database).
+// The caller must not touch the catalog directly afterwards; see Catalog.
 func WrapCatalog(cat *rel.Catalog) *Database {
-	return &Database{cat: cat, views: make(map[string]*View)}
+	db := &Database{cat: cat, views: make(map[string]*View)}
+	db.cat.PublishEpochs()
+	return db
+}
+
+// TableSnapshot is a pinned, immutable epoch of one base table: rows and
+// secondary indexes as of the last committed statement (or flush) that
+// touched it. Safe for unsynchronized concurrent use.
+type TableSnapshot = rel.TableSnapshot
+
+// TableSnapshot pins the current committed epoch of a base table, or nil
+// for an unknown table. Reads through the snapshot never block on, or see
+// torn state from, an in-flight statement or WriteBatch flush.
+func (db *Database) TableSnapshot(name string) *TableSnapshot {
+	return db.cat.Snapshot(name)
 }
 
 // CreateTable creates a base table with the given unique key.
@@ -257,6 +290,9 @@ func (db *Database) CreateTable(name string, cols []Column, key ...string) error
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	_, err := db.cat.CreateTable(name, cols, key...)
+	if err == nil {
+		db.cat.PublishEpochs()
+	}
 	return err
 }
 
@@ -272,7 +308,11 @@ func (db *Database) MustCreateTable(name string, cols []Column, key ...string) {
 func (db *Database) AddForeignKey(table string, cols []string, refTable string, refCols []string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.cat.AddForeignKey(table, cols, refTable, refCols)
+	err := db.cat.AddForeignKey(table, cols, refTable, refCols)
+	if err == nil {
+		db.cat.PublishEpochs()
+	}
+	return err
 }
 
 // CreateIndex builds a secondary hash index. It goes through the catalog so
@@ -285,6 +325,9 @@ func (db *Database) CreateIndex(table, name string, cols ...string) error {
 		return fmt.Errorf("ojv: unknown table %s", table)
 	}
 	_, err := db.cat.CreateIndex(table, name, cols...)
+	if err == nil {
+		db.cat.PublishEpochs()
+	}
 	return err
 }
 
@@ -333,16 +376,20 @@ func (db *Database) register(name string, def *view.Definition, opts []Options) 
 	if err := m.Materialize(); err != nil {
 		return nil, err
 	}
+	m.EnableSnapshots()
 	v := &View{name: name, db: db, m: m}
+	db.viewMu.Lock()
 	db.views[name] = v
 	db.order = append(db.order, name)
+	db.viewMu.Unlock()
 	return v, nil
 }
 
-// View returns a registered view by name, or nil.
+// View returns a registered view by name, or nil. It never blocks on an
+// in-flight flush.
 func (db *Database) View(name string) *View {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.viewMu.RLock()
+	defer db.viewMu.RUnlock()
 	return db.views[name]
 }
 
@@ -352,11 +399,20 @@ func (db *Database) View(name string) *View {
 // exact-match case of the view-matching problem). The result carries the
 // requested output columns; the second result names the view used, or ""
 // when the query was computed from base tables.
+//
+// When a view answers the query, the rows come from the view's current
+// committed epoch and the call never blocks on an in-flight flush; the
+// base-table fallback takes the shared read lock.
 func (db *Database) Query(r Rel, output []ColRef) ([]Row, string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.viewMu.RLock()
+	views := make([]*View, 0, len(db.order))
 	for _, name := range db.order {
-		v := db.views[name]
+		views = append(views, db.views[name])
+	}
+	db.viewMu.RUnlock()
+	for _, v := range views {
+		// The maintainer's stored-view pointer, definition and schema are
+		// immutable after registration, so matching needs no lock.
 		mv := v.m.Materialized()
 		if mv == nil || !mv.Definition().Matches(r.e) {
 			continue
@@ -376,14 +432,16 @@ func (db *Database) Query(r Rel, output []ColRef) ([]Row, string, error) {
 		if !usable {
 			continue // the view matches but lacks a requested column
 		}
-		rows := mv.Rows()
+		rows := viewRows(v)
 		out := make([]Row, len(rows))
 		for i, row := range rows {
 			out[i] = row.Project(cols)
 		}
-		return out, name, nil
+		return out, v.name, nil
 	}
 	// No view: evaluate from base tables.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	res, err := exec.Eval(&exec.Context{Catalog: db.cat}, &algebra.Project{Input: r.e, Cols: output})
 	if err != nil {
 		return nil, "", err
@@ -394,10 +452,37 @@ func (db *Database) Query(r Rel, output []ColRef) ([]Row, string, error) {
 // Save writes a snapshot of the base tables (schemas, keys, foreign keys,
 // indexes and rows). Views are not part of the snapshot: re-create them
 // after OpenSnapshot — they materialize from the restored tables.
+//
+// Save holds the shared read lock for the whole serialization, so it is
+// safe to call while statements or WriteBatch flushes run concurrently: it
+// observes a committed database state, never a mid-flush one.
 func (db *Database) Save(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.cat.Save(w)
+}
+
+// LoadCatalog replaces the database's base tables with a snapshot written
+// by Save (or Catalog.Save). All constraints are re-validated during the
+// load. It refuses to run while views are registered: views hold plans and
+// contents derived from the old tables and cannot be retargeted in place —
+// load first, then create views. On error the database is unchanged.
+func (db *Database) LoadCatalog(r io.Reader) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.viewMu.RLock()
+	registered := len(db.views)
+	db.viewMu.RUnlock()
+	if registered > 0 {
+		return fmt.Errorf("ojv: LoadCatalog with %d registered view(s); load before creating views", registered)
+	}
+	cat, err := rel.LoadCatalog(r)
+	if err != nil {
+		return err
+	}
+	db.cat = cat
+	db.cat.PublishEpochs()
+	return nil
 }
 
 // OpenSnapshot restores a database written by Save. All constraints are
@@ -498,15 +583,31 @@ func (db *Database) maintainAll(apply func(v *View, cs *view.Changeset) (*MaintS
 		s.v.m.CommitStaged(s.cs, s.stats)
 		s.v.LastStats = s.stats
 	}
+	db.cat.PublishEpochs()
 	return nil
 }
 
 // Name returns the view's name.
 func (v *View) Name() string { return v.name }
 
-// Rows returns the current view contents. For aggregation views these are
-// the group rows with SQL aggregate semantics.
-func (v *View) Rows() []Row {
+// ViewSnapshot is a pinned, immutable epoch of one view: Rows, Len, Schema
+// and TermCardinality all answer as of the moment the snapshot was taken,
+// no matter how many commits or flushes happen afterwards. Snapshots are
+// safe for unsynchronized concurrent use and never block maintenance.
+type ViewSnapshot = view.Snapshot
+
+// Snapshot pins the view's current committed epoch. Use it to run several
+// reads against one consistent state; single reads can call Rows/Len/...
+// directly, which pin an epoch per call.
+func (v *View) Snapshot() *ViewSnapshot { return v.m.Snapshot() }
+
+// viewRows reads a view's rows from its current committed epoch, falling
+// back to the stored view under the read lock when snapshots are off
+// (views not registered through a Database).
+func viewRows(v *View) []Row {
+	if s := v.m.Snapshot(); s != nil {
+		return s.Rows()
+	}
 	v.db.mu.RLock()
 	defer v.db.mu.RUnlock()
 	if a := v.m.Aggregated(); a != nil {
@@ -515,8 +616,19 @@ func (v *View) Rows() []Row {
 	return v.m.Materialized().Rows()
 }
 
-// Len returns the number of rows (or groups) in the view.
+// Rows returns the current view contents. For aggregation views these are
+// the group rows with SQL aggregate semantics. The rows come from the
+// view's current committed epoch: the call never blocks on, or observes
+// partial state from, an in-flight maintenance run or WriteBatch flush.
+// Returned rows must be treated as read-only.
+func (v *View) Rows() []Row { return viewRows(v) }
+
+// Len returns the number of rows (or groups) in the view as of its current
+// committed epoch.
 func (v *View) Len() int {
+	if s := v.m.Snapshot(); s != nil {
+		return s.Len()
+	}
 	v.db.mu.RLock()
 	defer v.db.mu.RUnlock()
 	if a := v.m.Aggregated(); a != nil {
@@ -525,10 +637,8 @@ func (v *View) Len() int {
 	return v.m.Materialized().Len()
 }
 
-// Schema returns the view's output schema.
+// Schema returns the view's output schema (immutable after creation).
 func (v *View) Schema() Schema {
-	v.db.mu.RLock()
-	defer v.db.mu.RUnlock()
 	if a := v.m.Aggregated(); a != nil {
 		return a.Schema()
 	}
@@ -536,9 +646,13 @@ func (v *View) Schema() Schema {
 }
 
 // TermCardinality returns the number of view rows whose source-table set is
-// exactly the given set (per-term statistics, as in the paper's Table 1).
-// It returns 0 for aggregation views.
+// exactly the given set (per-term statistics, as in the paper's Table 1),
+// as of the view's current committed epoch. It returns 0 for aggregation
+// views.
 func (v *View) TermCardinality(tables ...string) int {
+	if s := v.m.Snapshot(); s != nil {
+		return s.TermCardinality(tables)
+	}
 	v.db.mu.RLock()
 	defer v.db.mu.RUnlock()
 	if v.m.Materialized() == nil {
@@ -582,28 +696,15 @@ func (v *View) ExplainMaintenance(table string, insert bool) (string, error) {
 
 // Select returns the view rows for which the predicate is true — a simple
 // query interface over the maintained view (the reason to materialize it in
-// the first place).
+// the first place). It scans the view's current committed epoch, so it
+// never blocks on an in-flight flush.
 func (v *View) Select(p Pred) ([]Row, error) {
-	v.db.mu.RLock()
-	defer v.db.mu.RUnlock()
-	var sch Schema
-	if a := v.m.Aggregated(); a != nil {
-		sch = a.Schema()
-	} else {
-		sch = v.m.Materialized().Schema()
-	}
-	f, err := p.Compile(sch)
+	f, err := p.Compile(v.Schema())
 	if err != nil {
 		return nil, err
 	}
-	var rows []Row
-	if a := v.m.Aggregated(); a != nil {
-		rows = a.Rows()
-	} else {
-		rows = v.m.Materialized().Rows()
-	}
 	var out []Row
-	for _, r := range rows {
+	for _, r := range viewRows(v) {
 		if f(r) == algebra.True {
 			out = append(out, r)
 		}
