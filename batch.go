@@ -2,6 +2,7 @@ package ojv
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +39,18 @@ type BatchOptions struct {
 	FlushInterval time.Duration
 	// ReadPolicy selects the Rows read semantics (see ReadPolicy).
 	ReadPolicy ReadPolicy
+	// MaintWorkers enables concurrent maintenance of independent flush
+	// components. At 0 or 1 a flush is monolithic: one plan, every view,
+	// one atomic commit — a failed flush restores the entire pre-flush
+	// state. At N ≥ 2 the flush partitions its delta tables into
+	// independent components (conflict.go) and maintains up to N of them
+	// concurrently; each component commits — or rolls back — atomically on
+	// its own, publishing its tables' and views' epochs at its own commit
+	// boundary. Results are bit-identical to the monolithic flush at any
+	// worker count. On a component failure the committed components stay
+	// committed: only the failed components' statements remain pending (see
+	// Flush).
+	MaintWorkers int
 	// Tracer, when set, records a view.flush span root per flush (children:
 	// plan, one flush.step per single-table statement, commit).
 	Tracer *Tracer
@@ -346,19 +359,26 @@ func (b *WriteBatch) flushLocked(trigger string) error {
 		SetInt("rows_coalesced", int64(coalesced))
 	defer root.End()
 
-	planSpan := root.Child("plan")
-	steps := b.q.Plan()
-	planSpan.SetInt("steps", int64(len(steps))).End()
-
-	if len(steps) > 0 {
-		if err := b.applySteps(root, steps, fast); err != nil {
-			b.flushErr = err
-			b.opts.Metrics.Add("view.flush.errors", 1)
-			return err
+	var err error
+	if b.opts.MaintWorkers > 1 {
+		err = b.flushComponentsLocked(root, fast)
+	} else {
+		planSpan := root.Child("plan")
+		steps := b.q.Plan()
+		planSpan.SetInt("steps", int64(len(steps))).End()
+		if len(steps) > 0 {
+			err = b.applySteps(root, b.allViews(), steps, fast)
+			if err == nil {
+				// Views published their epochs at changeset commit; now that
+				// the whole flush has committed, publish the base tables'.
+				b.db.cat.PublishEpochs()
+			}
 		}
-		// Views published their epochs at changeset commit; now that the
-		// whole flush has committed, publish the base tables'.
-		b.db.cat.PublishEpochs()
+	}
+	if err != nil {
+		b.flushErr = err
+		b.opts.Metrics.Add("view.flush.errors", 1)
+		return err
 	}
 
 	b.q.Reset()
@@ -376,6 +396,119 @@ func (b *WriteBatch) flushLocked(trigger string) error {
 	return nil
 }
 
+// allViews returns every registered view in registration order. Caller
+// holds db.mu, which excludes registration (register takes db.mu before
+// viewMu), so the registry is stable without viewMu.
+func (b *WriteBatch) allViews() []*View {
+	views := make([]*View, 0, len(b.db.order))
+	for _, name := range b.db.order {
+		views = append(views, b.db.views[name])
+	}
+	return views
+}
+
+// flushComponentsLocked is the concurrent flush (MaintWorkers ≥ 2): it
+// partitions the delta tables into independent components, plans each
+// component single-threaded, then dispatches the components to a bounded
+// worker pool. Each component applies, commits and publishes on its own
+// (flushComponent); the coordinator joins the workers and reconciles the
+// queue. On a partial failure the committed components' entries drop from
+// the queue (they are applied; replaying them would double-apply), the
+// failed components' statements stay pending, and the first error becomes
+// the batch's sticky error — a retried Flush re-plans only the remaining
+// tables, through the re-validating path (the committed components moved
+// the catalog version, so the prevalidated proof no longer holds).
+func (b *WriteBatch) flushComponentsLocked(root *Span, fast bool) error {
+	comps := b.db.flushComponents(b.q)
+	if len(comps) == 0 {
+		return nil
+	}
+
+	// Planning reads the queue's shared entry maps, so it stays on the
+	// coordinator; only the independent apply/commit work fans out.
+	planSpan := root.Child("plan")
+	plans := make([][]pipeline.Step, len(comps))
+	totalSteps := 0
+	lockTables := make([]string, 0, len(comps))
+	for i, c := range comps {
+		plans[i] = b.q.PlanFor(c.tables)
+		totalSteps += len(plans[i])
+		lockTables = append(lockTables, c.tables...)
+	}
+	b.db.locks.Ensure(lockTables)
+	planSpan.SetInt("steps", int64(totalSteps)).
+		SetInt("components", int64(len(comps))).End()
+	b.opts.Metrics.Observe("view.flush.components", int64(len(comps)))
+
+	workers := b.opts.MaintWorkers
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	errs := make([]error, len(comps))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = b.flushComponent(root, comps[i], plans[i], fast)
+			}
+		}()
+	}
+	for i := range comps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var firstErr error
+	var committed []string
+	for i, c := range comps {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+		} else {
+			committed = append(committed, c.tables...)
+		}
+	}
+	if firstErr != nil {
+		if len(committed) > 0 {
+			b.q.DropTables(committed)
+		}
+		return firstErr
+	}
+	return nil
+}
+
+// flushComponent applies and commits one independent component: acquire
+// its tables' shard locks (sorted order — see rel.TableLocks), apply the
+// component plan into its views' changesets, and on success publish the
+// component's table epochs at its own commit boundary (the views published
+// theirs at changeset commit). On failure applySteps has already restored
+// the component's pre-flush state; no other component is disturbed either
+// way. The shard locks are defense in depth: components are disjoint by
+// construction, so a blocked Acquire means a conflict-analysis bug
+// degraded to serialization instead of a race.
+func (b *WriteBatch) flushComponent(root *Span, c flushComponent, steps []pipeline.Step, fast bool) error {
+	if len(steps) == 0 {
+		return nil
+	}
+	b.db.locks.Acquire(c.tables)
+	defer b.db.locks.Release(c.tables)
+	span := root.Child("flush.component").
+		SetStr("tables", strings.Join(c.tables, ",")).
+		SetInt("views", int64(len(c.views))).
+		SetInt("steps", int64(len(steps)))
+	defer span.End()
+	if err := b.applySteps(span, c.views, steps, fast); err != nil {
+		return err
+	}
+	b.db.cat.PublishTableEpochs(c.tables)
+	return nil
+}
+
 // stagedView pairs a view with its one changeset for the whole flush.
 type stagedView struct {
 	v     *View
@@ -383,16 +516,19 @@ type stagedView struct {
 	stats *MaintStats
 }
 
-// applySteps applies the plan under db.mu: each step mutates the base
-// table, then stages maintenance for that single-table delta into every
-// view's changeset. On any failure everything unwinds — staged changesets
-// in reverse view order, applied base deltas in reverse step order — so the
-// database returns to its pre-flush state. Caller still holds the pending
-// queue, which survives for a retry.
-func (b *WriteBatch) applySteps(root *Span, steps []pipeline.Step, fast bool) error {
-	staged := make([]stagedView, 0, len(b.db.order))
-	for _, name := range b.db.order {
-		v := b.db.views[name]
+// applySteps applies one plan under db.mu: each step mutates the base
+// table, then stages maintenance for that single-table delta into each
+// given view's changeset. On any failure everything unwinds — staged
+// changesets in reverse view order, applied base deltas in reverse step
+// order — so the database returns to the pre-apply state of the touched
+// tables and views. Caller still holds the pending queue, which survives
+// for a retry. The monolithic flush passes every registered view; the
+// concurrent flush calls it once per component, with the component's plan
+// and views, from concurrent workers — safe because components share no
+// table and no view, and the catalog's shared counters are atomic.
+func (b *WriteBatch) applySteps(root *Span, views []*View, steps []pipeline.Step, fast bool) error {
+	staged := make([]stagedView, 0, len(views))
+	for _, v := range views {
 		staged = append(staged, stagedView{v: v, cs: v.m.Begin()})
 	}
 	// modRows tracks per-step progress of a partially applied modify so the

@@ -1,0 +1,83 @@
+// Sharded-lock corpus: the map-indexed mutex family idiom of
+// rel.TableLocks. All members of one shard map are a single lock-family
+// node s.m[*]; acquisition loops must carry a sortedness witness, and a
+// family participates in the ordinary hierarchy graph like any other node.
+package a
+
+import (
+	"sort"
+	"sync"
+)
+
+// Shards mirrors rel.TableLocks: a mutex per table name, created up front,
+// acquired per flush component.
+type Shards struct {
+	mu sync.Mutex
+	m  map[string]*sync.Mutex
+}
+
+// acquireSorted is the sanctioned idiom: copy, sort, lock in sorted order.
+// The sort.Strings call on the ranged slice is the sortedness witness, so
+// the loop is accepted.
+func acquireSorted(s *Shards, names []string) {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		s.m[n].Lock()
+	}
+}
+
+// releaseSorted unlocks by index; only Lock acquisitions are checked, and
+// the witness covers the indexed slice anyway.
+func releaseSorted(s *Shards, names []string) {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for i := len(sorted) - 1; i >= 0; i-- {
+		s.m[sorted[i]].Unlock()
+	}
+}
+
+// acquireUnsorted loops over the caller's order: two concurrent callers
+// with reversed name lists deadlock against each other.
+func acquireUnsorted(s *Shards, names []string) {
+	for _, n := range names {
+		s.m[n].Lock() // want `a\.Shards\.m\[\*\] members are acquired in a loop with no sortedness witness on the iterated keys — ordered multi-shard acquisition requires sorting the names first \(DESIGN\.md §14\)`
+	}
+}
+
+// acquireByMapRange ranges the shard map itself: map order is random by
+// construction, so no witness can exist.
+func acquireByMapRange(s *Shards) {
+	for n := range s.m {
+		s.m[n].Lock() // want `a\.Shards\.m\[\*\] members are acquired in a loop with no sortedness witness on the iterated keys — ordered multi-shard acquisition requires sorting the names first \(DESIGN\.md §14\)`
+	}
+}
+
+// lockPair grabs two members back to back in argument order — the
+// straight-line form of the unordered acquisition hazard, caught by the
+// family self-edge rather than the loop check.
+func lockPair(s *Shards, a, b string) {
+	s.m[a].Lock()
+	s.m[b].Lock() // want `a second a\.Shards\.m\[\*\] member is acquired while another is already held — unordered multi-shard acquisition deadlocks against a concurrent acquirer in the opposite order; acquire through the sorted-order helper \(DESIGN\.md §14\)`
+	s.m[b].Unlock()
+	s.m[a].Unlock()
+}
+
+// Gate and the family below invert: one path locks a shard under Gate.mu,
+// the other takes Gate.mu while holding a shard. A family node is an
+// ordinary hierarchy participant, so this is the standard inversion report.
+type Gate struct{ mu sync.Mutex }
+
+func gateThenShard(g *Gate, s *Shards, name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s.m[name].Lock() // want `lock-order inversion: a\.Shards\.m\[\*\] is acquired while a\.Gate\.mu is held here, but a\.Gate\.mu is acquired while a\.Shards\.m\[\*\] is held at a/shard\.go:\d+`
+	s.m[name].Unlock()
+}
+
+func shardThenGate(g *Gate, s *Shards, name string) {
+	s.m[name].Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	s.m[name].Unlock()
+}

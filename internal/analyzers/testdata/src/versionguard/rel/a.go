@@ -3,10 +3,18 @@
 // Prevalidated() flush fast path depends on.
 package rel
 
+// counter mirrors atomic.Uint64: the real catalog's version counter is
+// atomic (independent flush components bump it concurrently), so a bump is
+// the method call c.version.Add(1) rather than an assignment.
+type counter struct{ v int }
+
+func (c *counter) Add(d int) int { c.v += d; return c.v }
+func (c *counter) Load() int     { return c.v }
+
 // Catalog, Table and Index mirror the guarded types of the real rel
 // package: their fields are committed state.
 type Catalog struct {
-	version int
+	version counter
 	tables  map[string]*Table
 }
 
@@ -21,7 +29,7 @@ type Index struct {
 }
 
 // Version is a read, not a mutation.
-func (c *Catalog) Version() int { return c.version }
+func (c *Catalog) Version() int { return c.version.Load() }
 
 // AddRow mutates committed Table state and never bumps: the fast path would
 // reuse validation computed against the old row set.
@@ -39,12 +47,12 @@ func (c *Catalog) drop(name string) {
 	delete(c.tables, name)
 }
 
-// Rename mutates and bumps directly: nothing to report.
+// Rename mutates and bumps directly (atomic form): nothing to report.
 func (c *Catalog) Rename(old, next string) {
 	t := c.tables[old]
 	delete(c.tables, old)
 	c.tables[next] = t
-	c.version++
+	c.version.Add(1)
 }
 
 // Truncate bumps through a helper; the bump property is closed over the
@@ -57,7 +65,7 @@ func (c *Catalog) Truncate(name string) {
 	c.bump()
 }
 
-func (c *Catalog) bump() { c.version++ }
+func (c *Catalog) bump() { c.version.Add(1) }
 
 // Restore swaps in a whole catalog before any plan can exist, so the stale
 // fast-path hazard cannot arise; the exemption is vetted in source.

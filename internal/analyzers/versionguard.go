@@ -81,6 +81,7 @@ func versionGuardPackage(mp *ModulePass, pkg *Package) {
 				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
 					vgRecordWrite(pkg, vf, n.Args[0], n.Pos())
 				}
+				vgRecordAtomicBump(pkg, vf, n)
 				if callee := calleeFunc(pkg, n); callee != nil {
 					vf.callees = append(vf.callees, callee)
 				}
@@ -187,6 +188,36 @@ func vgRecordWrite(pkg *Package, vf *vgFunc, lhs ast.Expr, pos token.Pos) {
 	if vf.mutation == token.NoPos {
 		vf.mutation = pos
 		vf.mutDesc = named.Obj().Name() + "." + s.Obj().Name()
+	}
+}
+
+// vgRecordAtomicBump recognizes the atomic bump form c.version.Add(1) (or
+// .Store): Catalog.version became an atomic counter when independent flush
+// components started bumping it concurrently, so the bump is a method call
+// on the field rather than an assignment or ++.
+func vgRecordAtomicBump(pkg *Package, vf *vgFunc, call *ast.CallExpr) {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (fun.Sel.Name != "Add" && fun.Sel.Name != "Store") {
+		return
+	}
+	sel, ok := fun.X.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	owner := s.Recv()
+	if p, ok := owner.(*types.Pointer); ok {
+		owner = p.Elem()
+	}
+	named, ok := owner.(*types.Named)
+	if !ok || named.Obj().Pkg() != pkg.Types {
+		return
+	}
+	if named.Obj().Name() == "Catalog" && s.Obj().Name() == "version" {
+		vf.bumps = true
 	}
 }
 

@@ -29,14 +29,16 @@ package pipeline
 
 import (
 	"fmt"
+	"sort"
 
 	"ojv/internal/rel"
 )
 
 // Op identifies one flush phase. Flush applies all deletes first (children
 // before parents, so RESTRICT checks see referencing rows removed), then
-// modifies (keys never change, so order is immaterial), then inserts
-// (parents before children, so outbound foreign keys resolve).
+// inserts (parents before children, so outbound foreign keys resolve),
+// then modifies (keys never change; last so an update referencing a
+// same-batch-inserted key finds it applied — see Plan).
 type Op uint8
 
 // The flush phases, in application order.
@@ -498,21 +500,127 @@ func (q *Queue) Get(table string, key []rel.Value) (rel.Row, bool, error) {
 // Plan drains the pending entries into an ordered flush plan without
 // resetting the queue (the caller resets after the flush commits, so a
 // failed flush preserves every pending statement). Phases: deletes with
-// referencing tables before referenced ones, then modifies, then inserts
-// with referenced tables before referencing ones.
+// referencing tables before referenced ones, then inserts with referenced
+// tables before referencing ones, then modifies. Modifies come last
+// because a staged update may reference a key inserted in the same batch
+// (enqueue validated it against the overlay): applying the modify after
+// the inserts keeps the foreign key satisfied at every step, which both
+// the re-validating flush path and the maintenance planner's Section 6
+// assumption (a freshly inserted parent has no referencing rows when its
+// delta is maintained) depend on.
 func (q *Queue) Plan() []Step {
+	return q.planOver(q.topoTables())
+}
+
+// PlanFor builds the flush plan restricted to the given tables: the same
+// three phases in the same relative order as Plan, over only those tables'
+// entries. The concurrent flush path calls it once per independent
+// component; because the conflict analysis keeps FK-adjacent delta tables
+// in one component, concatenating the component plans in any interleaving
+// is equivalent to the monolithic Plan.
+func (q *Queue) PlanFor(tables []string) []Step {
+	include := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		include[t] = true
+	}
 	topo := q.topoTables()
+	sub := topo[:0:0]
+	for _, t := range topo {
+		if include[t] {
+			sub = append(sub, t)
+		}
+	}
+	return q.planOver(sub)
+}
+
+// planOver emits the three flush phases over the given topo-ordered tables.
+func (q *Queue) planOver(topo []string) []Step {
 	var steps []Step
 	for i := len(topo) - 1; i >= 0; i-- {
 		steps = q.appendStep(steps, topo[i], entryDelete)
 	}
 	for _, t := range topo {
-		steps = q.appendStep(steps, t, entryModify)
-	}
-	for _, t := range topo {
 		steps = q.appendStep(steps, t, entryInsert)
 	}
+	for _, t := range topo {
+		steps = q.appendStep(steps, t, entryModify)
+	}
 	return steps
+}
+
+// DeltaTables returns the names of the tables with net pending entries, in
+// sorted order. It is the input to the flush coordinator's conflict
+// analysis.
+func (q *Queue) DeltaTables() []string {
+	var out []string
+	for name, td := range q.tables {
+		if len(td.entries) > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InboundDeltaTables returns the tables referencing the given table that
+// themselves have pending entries. The conflict analysis uses it to keep
+// FK-adjacent deltas in one component (a delete's RESTRICT check reads the
+// referencing table; an insert's FK check reads the referenced one).
+func (q *Queue) InboundDeltaTables(table string) []string {
+	td, ok := q.tables[table]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, ref := range td.inboundTables {
+		if td2, ok := q.tables[ref]; ok && len(td2.entries) > 0 {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// OutboundTables returns the FK-referenced tables of the given table (the
+// tables its staged rows' outbound foreign keys probe), whether or not they
+// have pending entries.
+func (q *Queue) OutboundTables(table string) []string {
+	td, ok := q.tables[table]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, fk := range td.fks {
+		out = append(out, fk.refTable)
+	}
+	return out
+}
+
+// DropTables discards the pending entries of the given tables, leaving the
+// rest of the queue intact. The concurrent flush path calls it after a
+// partial failure, for the components that committed: their entries are
+// applied and must not replay, while the failed component's statements stay
+// pending for a retried flush. Accounting is rebuilt from the surviving
+// entries — each counts as one staged row of its own statement, with no
+// coalescing credit — preserving the StagedRows() == Len() + CoalescedRows()
+// invariant and keeping Statements() > 0 while work remains. The version
+// witness is untouched: the committed components bumped the catalog
+// version, so Prevalidated() reports false and the retry takes the
+// re-validating flush path.
+func (q *Queue) DropTables(names []string) {
+	for _, n := range names {
+		if td, ok := q.tables[n]; ok {
+			td.entries = make(map[string]entry)
+			td.order = nil
+		}
+	}
+	remaining := 0
+	for _, td := range q.tables {
+		remaining += len(td.entries)
+	}
+	q.net = remaining
+	q.staged = remaining
+	q.coalesced = 0
+	q.statements = remaining
 }
 
 // appendStep collects one table's entries of one kind, in first-staging key

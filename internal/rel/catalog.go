@@ -3,6 +3,7 @@ package rel
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Catalog is a named collection of base tables plus the declared foreign-key
@@ -13,8 +14,10 @@ type Catalog struct {
 	names  []string
 	// inbound maps a referenced table name to the constraints pointing at it.
 	inbound map[string][]inboundFK
-	// version counts committed changes; see Version in prevalidated.go.
-	version uint64
+	// version counts committed changes; see Version in prevalidated.go. It
+	// is atomic because independent flush components bump it concurrently
+	// while each holds only its own table-shard locks (shardlock.go).
+	version atomic.Uint64
 	// epochs holds the publish counter and the lock-free table directory
 	// for snapshot readers; see epoch.go.
 	epochs catalogEpochs
@@ -59,7 +62,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, key ...string) (*Table
 	t := &Table{name: name, schema: schema, keyCols: keyCols, rows: make(map[string]Row)}
 	c.tables[name] = t
 	c.names = append(c.names, name)
-	c.version++
+	c.version.Add(1)
 	if c.epochs.dir.Load() != nil {
 		c.publishDir()
 	}
@@ -140,7 +143,7 @@ func (c *Catalog) AddForeignKey(table string, cols []string, refTable string, re
 			return err
 		}
 	}
-	c.version++
+	c.version.Add(1)
 	return nil
 }
 
@@ -157,7 +160,7 @@ func (c *Catalog) CreateIndex(table, name string, cols ...string) (*Index, error
 	if err != nil {
 		return nil, err
 	}
-	c.version++
+	c.version.Add(1)
 	return ix, nil
 }
 
@@ -241,7 +244,7 @@ func (c *Catalog) Insert(table string, rows []Row) error {
 			return err // unreachable after pre-validation
 		}
 	}
-	c.version++
+	c.version.Add(1)
 	return nil
 }
 
@@ -294,7 +297,7 @@ func (c *Catalog) Delete(table string, keys [][]Value) ([]Row, error) {
 		}
 		out = append(out, row)
 	}
-	c.version++
+	c.version.Add(1)
 	return out, nil
 }
 
@@ -376,7 +379,7 @@ func (c *Catalog) Update(table string, key []Value, newRow Row) (Row, error) {
 	if err := t.insert(newRow); err != nil {
 		return nil, err // unreachable: key was just freed
 	}
-	c.version++
+	c.version.Add(1)
 	return old, nil
 }
 
@@ -396,7 +399,7 @@ func (c *Catalog) RollbackInsert(table string, rows []Row) error {
 			return fmt.Errorf("rel: table %s: rollback of insert: row with key %v is missing", table, row.Project(t.keyCols))
 		}
 	}
-	c.version++
+	c.version.Add(1)
 	return nil
 }
 
@@ -412,7 +415,7 @@ func (c *Catalog) RollbackDelete(table string, rows []Row) error {
 			return fmt.Errorf("rel: rollback of delete: %w", err)
 		}
 	}
-	c.version++
+	c.version.Add(1)
 	return nil
 }
 
@@ -430,7 +433,7 @@ func (c *Catalog) RollbackUpdate(table string, key []Value, oldRow Row) error {
 	if err := t.insert(oldRow); err != nil {
 		return fmt.Errorf("rel: rollback of update: %w", err)
 	}
-	c.version++
+	c.version.Add(1)
 	return nil
 }
 

@@ -317,9 +317,11 @@ func (t *Table) publishEpoch(seq uint64) {
 // name→table directory snapshot readers resolve tables through (the
 // tables map itself may be mid-mutation by concurrent DDL). Both live
 // here rather than in Catalog's literal declaration to keep the epoch
-// machinery in one file.
+// machinery in one file. The counter is atomic because independent flush
+// components publish their tables concurrently (PublishTableEpochs), each
+// drawing its own sequence number.
 type catalogEpochs struct {
-	seq uint64
+	seq atomic.Uint64
 	dir atomic.Pointer[map[string]*Table]
 }
 
@@ -335,12 +337,33 @@ func (c *Catalog) PublishEpochs() {
 	// write. Harmless to the flush fast path: the facade publishes at
 	// commit boundaries, after which the pipeline queue has been reset and
 	// re-snapshots the version at its next staged statement.
-	c.version++
-	c.epochs.seq++
+	c.version.Add(1)
+	seq := c.epochs.seq.Add(1)
 	for _, name := range c.names {
-		c.tables[name].publishEpoch(c.epochs.seq)
+		c.tables[name].publishEpoch(seq)
 	}
 	c.publishDir()
+}
+
+// PublishTableEpochs publishes a new epoch of exactly the named tables. It
+// is the per-component commit boundary of a concurrent WriteBatch flush:
+// each independent component publishes its own base tables when it commits,
+// without waiting for (or disturbing) the other components. Callers must
+// hold the shard locks serializing writers of the named tables, and the
+// tables must already have epochs enabled (the facade publishes the whole
+// catalog when it adopts one). The table directory is not refreshed: a
+// flush never runs DDL, so the name→table mapping cannot have changed.
+func (c *Catalog) PublishTableEpochs(names []string) {
+	if len(names) == 0 {
+		return
+	}
+	c.version.Add(1)
+	seq := c.epochs.seq.Add(1)
+	for _, name := range names {
+		if t := c.tables[name]; t != nil {
+			t.publishEpoch(seq)
+		}
+	}
 }
 
 // publishDir refreshes the lock-free table directory.

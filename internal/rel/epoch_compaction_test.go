@@ -1,0 +1,272 @@
+package rel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Compaction-under-pin regressions: a reader pins an epoch mid-chain, the
+// writer keeps publishing until the overlay chain compacts into a fresh
+// base, and every pinned epoch must keep reading exactly the state it was
+// published with. Compaction rebuilds the newest epoch only; it shares the
+// old base with every pinned chain, so any in-place write to that base (or
+// to a shared index bucket) is the torn read these tests exist to catch.
+
+// pubStep publishes one dirty key against live and returns the new epoch
+// and whether the publish compacted.
+func pubStep(prev *EpochMap[string, int], seq uint64, live map[string]int, key string) (*EpochMap[string, int], bool) {
+	return PublishEpoch(prev, seq, map[string]struct{}{key: {}}, func(k string) (int, bool) {
+		v, ok := live[k]
+		return v, ok
+	}, nil)
+}
+
+// TestEpochCompactionUnderPin pins epochs at both ends of an overlay chain
+// — one directly above a tombstone, one at full chain length — then forces
+// the compaction and checks the pins, the compacted epoch, and the epochs
+// published after it.
+func TestEpochCompactionUnderPin(t *testing.T) {
+	live := make(map[string]int)
+	for i := 0; i < 10; i++ {
+		live[fmt.Sprintf("k%d", i)] = i
+	}
+	e0 := NewFullEpoch(1, live, nil)
+	if e0.Len() != 10 {
+		t.Fatalf("base Len = %d, want 10", e0.Len())
+	}
+
+	// Publish 1: delete k0 — the pinned chain starts with a tombstone.
+	delete(live, "k0")
+	pinLow, compacted := pubStep(e0, 2, live, "k0")
+	if compacted {
+		t.Fatal("compacted on the first overlay")
+	}
+	if _, ok := pinLow.Get("k0"); ok {
+		t.Fatal("tombstone did not hide the base value")
+	}
+	if pinLow.Len() != 9 {
+		t.Fatalf("Len after tombstone = %d, want 9", pinLow.Len())
+	}
+
+	// Publishes 2..8: bump k1..k7 by 100 — chain grows to maxOverlays.
+	cur := pinLow
+	for i := 1; i <= 7; i++ {
+		k := fmt.Sprintf("k%d", i)
+		live[k] = i + 100
+		cur, compacted = pubStep(cur, uint64(2+i), live, k)
+		if compacted {
+			t.Fatalf("compacted early at overlay %d", i+1)
+		}
+	}
+	pinHigh := cur
+	if len(pinHigh.overlays) != maxOverlays {
+		t.Fatalf("chain length = %d, want %d", len(pinHigh.overlays), maxOverlays)
+	}
+
+	// Publish 9: one more overlay trips the bound; the publish compacts.
+	live["k8"] = 108
+	compact, didCompact := pubStep(pinHigh, 11, live, "k8")
+	if !didCompact {
+		t.Fatal("publish past maxOverlays did not compact")
+	}
+	if len(compact.overlays) != 0 || compact.Seq() != 11 {
+		t.Fatalf("compacted epoch: overlays=%d seq=%d", len(compact.overlays), compact.Seq())
+	}
+
+	// The compacted epoch agrees with live exactly.
+	if compact.Len() != len(live) {
+		t.Fatalf("compacted Len = %d, live %d", compact.Len(), len(live))
+	}
+	if _, ok := compact.Get("k0"); ok {
+		t.Fatal("compaction resurrected a tombstoned key")
+	}
+	for k, v := range live {
+		if got, ok := compact.Get(k); !ok || got != v {
+			t.Fatalf("compacted Get(%s) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+
+	// Both pins still read their own publish-time state: the compaction
+	// shares their base and must not have written into it.
+	if got, ok := pinLow.Get("k1"); !ok || got != 1 {
+		t.Fatalf("pinned-low Get(k1) = %d,%v want 1 (pre-update)", got, ok)
+	}
+	if _, ok := pinLow.Get("k0"); ok {
+		t.Fatal("pinned-low lost its tombstone after compaction")
+	}
+	if got, ok := pinHigh.Get("k7"); !ok || got != 107 {
+		t.Fatalf("pinned-high Get(k7) = %d,%v want 107", got, ok)
+	}
+	if got, ok := pinHigh.Get("k8"); !ok || got != 8 {
+		t.Fatalf("pinned-high Get(k8) = %d,%v want 8 (pre-update)", got, ok)
+	}
+	seen := make(map[string]int)
+	pinHigh.Range(func(k string, v int) bool {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("Range yielded %s twice through the overlay chain", k)
+		}
+		seen[k] = v
+		return true
+	})
+	if len(seen) != pinHigh.Len() {
+		t.Fatalf("Range saw %d keys, Len says %d", len(seen), pinHigh.Len())
+	}
+	if seen["k1"] != 101 || seen["k9"] != 9 {
+		t.Fatalf("pinned-high Range state wrong: %v", seen)
+	}
+
+	// Publishing past the compaction keeps working: re-insert the
+	// tombstoned key and verify only the newest epoch sees it.
+	live["k0"] = 1000
+	after, _ := pubStep(compact, 12, live, "k0")
+	if got, ok := after.Get("k0"); !ok || got != 1000 {
+		t.Fatalf("post-compaction Get(k0) = %d,%v want 1000", got, ok)
+	}
+	if after.Len() != compact.Len()+1 {
+		t.Fatalf("post-compaction Len = %d, want %d", after.Len(), compact.Len()+1)
+	}
+	if _, ok := compact.Get("k0"); ok {
+		t.Fatal("re-insert leaked into the pinned compacted epoch")
+	}
+	if _, ok := pinLow.Get("k0"); ok {
+		t.Fatal("re-insert leaked into the pinned overlay chain")
+	}
+}
+
+// TestEpochCompactionByEntryCount drives the second compaction trigger —
+// overlay entries outgrowing half the base — with a chain well under
+// maxOverlays, and checks the same pin guarantees hold.
+func TestEpochCompactionByEntryCount(t *testing.T) {
+	live := make(map[string]int)
+	for i := 0; i < 400; i++ {
+		live[fmt.Sprintf("k%d", i)] = i
+	}
+	e0 := NewFullEpoch(1, live, nil)
+
+	// One publish dirtying 150 keys: entries 150 ≤ 400/2+64, no compaction;
+	// a second batch of 150 distinct keys pushes past the bound.
+	dirty := make(map[string]struct{})
+	for i := 0; i < 150; i++ {
+		k := fmt.Sprintf("k%d", i)
+		live[k] = i + 1000
+		dirty[k] = struct{}{}
+	}
+	lookup := func(k string) (int, bool) { v, ok := live[k]; return v, ok }
+	pinned, compacted := PublishEpoch(e0, 2, dirty, lookup, nil)
+	if compacted {
+		t.Fatalf("compacted at %d entries over a %d-key base", pinned.entries, len(e0.base))
+	}
+
+	dirty = make(map[string]struct{})
+	for i := 150; i < 300; i++ {
+		k := fmt.Sprintf("k%d", i)
+		delete(live, k)
+		dirty[k] = struct{}{}
+	}
+	compact, didCompact := PublishEpoch(pinned, 3, dirty, lookup, nil)
+	if !didCompact {
+		t.Fatal("entry-count trigger did not compact")
+	}
+	if compact.Len() != len(live) || len(compact.overlays) != 0 {
+		t.Fatalf("compacted: Len=%d live=%d overlays=%d", compact.Len(), len(live), len(compact.overlays))
+	}
+	if _, ok := compact.Get("k200"); ok {
+		t.Fatal("compaction kept a key deleted in its own dirty set")
+	}
+	if got, ok := pinned.Get("k200"); !ok || got != 200 {
+		t.Fatalf("pinned Get(k200) = %d,%v want 200", got, ok)
+	}
+	if got, ok := pinned.Get("k0"); !ok || got != 1000 {
+		t.Fatalf("pinned Get(k0) = %d,%v want 1000", got, ok)
+	}
+	if pinned.Len() != 400 {
+		t.Fatalf("pinned Len = %d, want 400", pinned.Len())
+	}
+}
+
+// TestEpochIndexCompactionUnderPin runs the same discipline through the
+// catalog: an index bucket pinned before a long publish run must survive
+// both the overlay compaction and the live bucket's in-place compaction
+// (Index.remove), because buckets are cloned on their way into an epoch.
+func TestEpochIndexCompactionUnderPin(t *testing.T) {
+	c := epochFixture(t)
+	if err := c.Insert("t", []Row{
+		{Int(1), Str("x")}, {Int(2), Str("x")}, {Int(3), Str("x")}, {Int(4), Str("y")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.PublishEpochs()
+	tab := c.Table("t")
+	ixCols := tab.IndexOn([]int{1}).Cols()
+	pinnedSnap := c.Snapshot("t")
+	pinnedIx := pinnedSnap.IndexOnSet(ixCols)
+	key := EncodeValues(Str("x"))
+	pinnedBucket := pinnedIx.Lookup(key)
+	if len(pinnedBucket) != 3 {
+		t.Fatalf("pinned bucket len = %d, want 3", len(pinnedBucket))
+	}
+
+	// Publish well past maxOverlays, dirtying the pinned bucket every round:
+	// delete a member (live bucket compacts in place) and insert a
+	// replacement into the same bucket.
+	next := int64(10)
+	for round := 0; round < maxOverlays+4; round++ {
+		victim := next - 1
+		if round == 0 {
+			victim = 1
+		}
+		if _, err := c.Delete("t", [][]Value{{Int(victim)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert("t", []Row{{Int(next), Str("x")}}); err != nil {
+			t.Fatal(err)
+		}
+		next++
+		c.PublishEpochs()
+	}
+
+	curSnap := c.Snapshot("t")
+	curIx := curSnap.IndexOnSet(ixCols)
+	if got := len(curIx.Lookup(key)); got != 3 {
+		t.Fatalf("current bucket len = %d, want 3", got)
+	}
+	if len(curSnap.rows.overlays) >= maxOverlays {
+		t.Fatalf("row overlay chain never compacted: %d", len(curSnap.rows.overlays))
+	}
+	if len(curIx.m.overlays) >= maxOverlays {
+		t.Fatalf("index overlay chain never compacted: %d", len(curIx.m.overlays))
+	}
+
+	// The pinned bucket is bit-identical to publish time: ids 1..3, no
+	// member replaced or compacted away underneath the pin.
+	got := pinnedIx.Lookup(key)
+	if len(got) != 3 {
+		t.Fatalf("pinned bucket len changed: %d", len(got))
+	}
+	ids := make(map[int64]bool)
+	for _, r := range got {
+		if r[1].AsString() != "x" {
+			t.Fatalf("pinned bucket row torn: %v", r)
+		}
+		ids[r[0].AsInt()] = true
+	}
+	if !ids[1] || !ids[2] || !ids[3] {
+		t.Fatalf("pinned bucket members changed: %v", ids)
+	}
+	if pinnedSnap.Len() != 4 {
+		t.Fatalf("pinned snapshot Len = %d, want 4", pinnedSnap.Len())
+	}
+
+	// Mutating live after the compaction must not reach the compacted
+	// snapshot's bucket: compaction shares clones, never live slices.
+	if _, err := c.Delete("t", [][]Value{{Int(next - 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(curIx.Lookup(key)); got != 3 {
+		t.Fatalf("live delete reached the compacted snapshot bucket: len %d", got)
+	}
+	c.PublishEpochs()
+	if got := len(c.Snapshot("t").IndexOnSet(ixCols).Lookup(key)); got != 2 {
+		t.Fatalf("next epoch bucket len = %d, want 2", got)
+	}
+}

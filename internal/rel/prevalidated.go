@@ -29,9 +29,12 @@ import "fmt"
 // Version returns the catalog's mutation counter. It increments on every
 // committed change — row mutations, rollbacks, and schema changes — so an
 // unchanged Version proves that any validation performed against the
-// catalog earlier still holds. Callers must read it under the same lock
-// that serializes catalog writers.
-func (c *Catalog) Version() uint64 { return c.version }
+// catalog earlier still holds. The counter itself is atomic (independent
+// flush components bump it concurrently under their table-shard locks),
+// but a caller using it as a validation witness must still read it under
+// the lock that excludes the writers it is guarding against: the proof is
+// "no writer ran in between", not merely "the read did not tear".
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // InsertPrevalidated inserts rows whose constraints the caller has already
 // proven (see the package comment above); encKeys[i] must be KeyOf(rows[i]).
@@ -52,7 +55,7 @@ func (c *Catalog) InsertPrevalidated(table string, rows []Row, encKeys []string)
 	for i, row := range rows {
 		t.insertPrevalidated(row, encKeys[i])
 	}
-	c.version++
+	c.version.Add(1)
 	return nil
 }
 
@@ -70,7 +73,7 @@ func (c *Catalog) UpdatePrevalidated(table string, encKey string, newRow Row) (R
 	}
 	t.deleteByKey(encKey)
 	t.insertPrevalidated(newRow, encKey)
-	c.version++
+	c.version.Add(1)
 	return old, nil
 }
 
@@ -105,6 +108,6 @@ func (c *Catalog) DeletePrevalidated(table string, keys [][]Value, encKeys []str
 		}
 		out = append(out, row)
 	}
-	c.version++
+	c.version.Add(1)
 	return out, nil
 }

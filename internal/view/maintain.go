@@ -437,6 +437,28 @@ func (m *Maintainer) OnModify(table string, deleted, inserted []rel.Row) (*Maint
 	})
 }
 
+// Footprint returns every base table a maintenance run of this view may
+// read or write: the view's own tables plus, one FK hop out, the tables
+// their declared foreign keys reference — the Section 6 optimizations let
+// a plan probe an FK parent that is not itself part of the view. The
+// result is sorted and duplicate-free. The flush coordinator's conflict
+// analysis uses it to decide which views can maintain concurrently.
+func (m *Maintainer) Footprint() []string {
+	seen := make(map[string]bool)
+	for _, t := range m.def.tables {
+		seen[t] = true
+		for _, fk := range m.def.cat.ForeignKeys(t) {
+			seen[fk.RefTable] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // atomically runs one staged maintenance pass in a fresh changeset,
 // committing on success and rolling back on error.
 func (m *Maintainer) atomically(f func(*Changeset) (*MaintStats, error)) (*MaintStats, error) {

@@ -247,11 +247,17 @@ type Database struct {
 	viewMu sync.RWMutex
 	views  map[string]*View
 	order  []string
+	// locks shards the flush write path by base table: independent flush
+	// components acquire only their own tables' shards, so maintenance of
+	// views with disjoint footprints proceeds concurrently inside a flush
+	// (conflict.go). Lock order: mu before any shard, shards in sorted name
+	// order (rel.TableLocks).
+	locks *rel.TableLocks
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	db := &Database{cat: rel.NewCatalog(), views: make(map[string]*View)}
+	db := &Database{cat: rel.NewCatalog(), views: make(map[string]*View), locks: rel.NewTableLocks()}
 	db.cat.PublishEpochs()
 	return db
 }
@@ -268,7 +274,7 @@ func (db *Database) Catalog() *rel.Catalog { return db.cat }
 // WrapCatalog adopts an existing catalog (e.g. a generated TPC-H database).
 // The caller must not touch the catalog directly afterwards; see Catalog.
 func WrapCatalog(cat *rel.Catalog) *Database {
-	db := &Database{cat: cat, views: make(map[string]*View)}
+	db := &Database{cat: cat, views: make(map[string]*View), locks: rel.NewTableLocks()}
 	db.cat.PublishEpochs()
 	return db
 }
