@@ -2,6 +2,7 @@ package ojv
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -56,6 +57,14 @@ type BatchOptions struct {
 	Tracer *Tracer
 	// Metrics, when set, collects the view.flush.* counters and histograms.
 	Metrics *Metrics
+	// DisableSharedPlans turns off multi-view common-subexpression sharing:
+	// every view evaluates its full ΔV^D tree in isolation, as before PR 10.
+	// Sharing is on by default — for each flush step the views touched by
+	// the step are scanned for structurally identical maintenance subtrees,
+	// and each shared subtree is evaluated once and fanned out (DESIGN.md
+	// §15). Results are bit-identical either way; the switch exists for
+	// benchmarking and as an escape hatch.
+	DisableSharedPlans bool
 }
 
 // WriteBatch is the group-commit write pipeline: it stages Insert, Delete
@@ -456,7 +465,7 @@ func (b *WriteBatch) flushComponentsLocked(root *Span, fast bool) error {
 			}
 		}()
 	}
-	for i := range comps {
+	for _, i := range dispatchOrder(plans) {
 		idx <- i
 	}
 	close(idx)
@@ -480,6 +489,26 @@ func (b *WriteBatch) flushComponentsLocked(root *Span, fast bool) error {
 		return firstErr
 	}
 	return nil
+}
+
+// dispatchOrder returns the component indices largest-delta-first: with
+// fewer workers than components, starting the largest component earliest
+// minimizes the tail — a big component dispatched last runs alone after
+// the small ones drain. Sizes are known at plan time (net delta rows per
+// step); the sort is stable, so equal-sized components keep plan order.
+// Results are unaffected either way: components are independent by
+// construction.
+func dispatchOrder(plans [][]pipeline.Step) []int {
+	order := make([]int, len(plans))
+	sizes := make([]int, len(plans))
+	for i, ps := range plans {
+		order[i] = i
+		for _, st := range ps {
+			sizes[i] += st.Len()
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+	return order
 }
 
 // flushComponent applies and commits one independent component: acquire
@@ -553,6 +582,22 @@ func (b *WriteBatch) applySteps(root *Span, views []*View, steps []pipeline.Step
 		return fmt.Errorf("ojv: flush failed: %w", cause)
 	}
 
+	// Multi-view sharing: with two or more views in the flush, each step
+	// builds the shared-subexpression DAG across them and evaluates every
+	// shared subtree once; the per-view maintenance below consumes through
+	// tee handles instead of re-evaluating. The base state a step's shared
+	// producers read is constant across the step's views (applyBase runs
+	// first; view maintenance mutates only view state), so lazy producer
+	// evaluation interleaved with per-view pulls is sound.
+	shareViews := !b.opts.DisableSharedPlans && len(views) > 1
+	var maints []*view.Maintainer
+	if shareViews {
+		maints = make([]*view.Maintainer, len(views))
+		for j, v := range views {
+			maints[j] = v.m
+		}
+	}
+
 	for i, st := range steps {
 		span := root.Child("flush.step").
 			SetStr("table", st.Table).
@@ -566,24 +611,58 @@ func (b *WriteBatch) applySteps(root *Span, views []*View, steps []pipeline.Step
 			}
 			return fail(i-1, err)
 		}
+		// A modify decomposes into a delete pass and an insert pass, each
+		// with its own plan — so up to two shared runs per step.
+		var runDel, runIns *view.SharedRun
+		if shareViews {
+			switch st.Op {
+			case pipeline.OpInsert:
+				runIns, err = view.PlanShared(maints, st.Table, true, true, st.Rows, span, b.opts.Metrics)
+			case pipeline.OpDelete:
+				runDel, err = view.PlanShared(maints, st.Table, false, true, st.OldRows, span, b.opts.Metrics)
+			case pipeline.OpModify:
+				runDel, err = view.PlanShared(maints, st.Table, false, false, st.OldRows, span, b.opts.Metrics)
+				if err == nil {
+					runIns, err = view.PlanShared(maints, st.Table, true, false, st.NewRows, span, b.opts.Metrics)
+				}
+			}
+			if err != nil {
+				runDel.Close()
+				runIns.Close()
+				span.End()
+				return fail(i, err)
+			}
+		}
 		for j := range staged {
 			s := &staged[j]
 			var stats *MaintStats
 			switch st.Op {
 			case pipeline.OpInsert:
-				stats, err = s.v.m.ApplyInsert(s.cs, st.Table, st.Rows)
+				stats, err = s.v.m.ApplyInsertShared(s.cs, st.Table, st.Rows, runIns.Bound(s.v.m))
 			case pipeline.OpDelete:
-				stats, err = s.v.m.ApplyDelete(s.cs, st.Table, st.OldRows)
+				stats, err = s.v.m.ApplyDeleteShared(s.cs, st.Table, st.OldRows, runDel.Bound(s.v.m))
 			case pipeline.OpModify:
-				stats, err = s.v.m.ApplyModify(s.cs, st.Table, st.OldRows, st.NewRows)
+				stats, err = s.v.m.ApplyModifyShared(s.cs, st.Table, st.OldRows, st.NewRows,
+					runDel.Bound(s.v.m), runIns.Bound(s.v.m))
 			}
 			if err != nil {
+				runDel.Close()
+				runIns.Close()
 				span.End()
 				return fail(i, err)
 			}
 			s.stats = view.AccumulateStats(s.stats, stats)
 		}
+		// Close force-releases any handle a view never drained, closes each
+		// producer exactly once, and publishes the step's sharing metrics.
+		err = runDel.Close()
+		if e := runIns.Close(); err == nil {
+			err = e
+		}
 		span.End()
+		if err != nil {
+			return fail(i, err)
+		}
 	}
 
 	commit := root.Child("commit")

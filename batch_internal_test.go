@@ -4,6 +4,9 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"ojv/internal/pipeline"
+	"ojv/internal/rel"
 )
 
 // lifecycleDB builds a minimal database with one view for flusher
@@ -125,5 +128,32 @@ func TestBatchDiscardAfterPoisonedCloseAllowsClose(t *testing.T) {
 	waitDone(t, wb, "after Discard+Close")
 	if got := db.View("v").Len(); got != 0 {
 		t.Fatalf("discarded statement reached the view (rows=%d)", got)
+	}
+}
+
+// TestDispatchOrder pins the size-ordered component dispatch: largest net
+// delta first, stable for ties.
+func TestDispatchOrder(t *testing.T) {
+	row := rel.Row{rel.Int(1)}
+	step := func(n int) pipeline.Step {
+		s := pipeline.Step{Table: "t", Op: pipeline.OpInsert}
+		for i := 0; i < n; i++ {
+			s.Rows = append(s.Rows, row)
+		}
+		return s
+	}
+	plans := [][]pipeline.Step{
+		{step(1)},          // 1 row
+		{step(4), step(2)}, // 6 rows
+		{step(3)},          // 3 rows
+		{step(3)},          // 3 rows (ties keep plan order)
+		{},                 // empty component
+	}
+	got := dispatchOrder(plans)
+	want := []int{1, 2, 3, 0, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatchOrder = %v, want %v", got, want)
+		}
 	}
 }

@@ -25,6 +25,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"ojv/internal/bench"
@@ -40,6 +42,8 @@ func main() {
 	flushRows := flag.Int("flushrows", 1000, "WriteBatch flush threshold in the -experiment serving run")
 	readers := flag.Int("readers", 4, "concurrent snapshot readers in the -experiment serving run")
 	groups := flag.Int("groups", 4, "disjoint view groups in the -experiment concurrent-maintenance run")
+	mvViews := flag.String("mvviews", "1,16,128", "comma-separated view counts for the -experiment multi-view run")
+	mvRounds := flag.Int("mvrounds", 6, "timed flush rounds per point in the -experiment multi-view run")
 	maintWorkers := flag.Int("maintworkers", 4, "maintenance workers at the top measured point of -experiment concurrent-maintenance")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (the paper runs SF=1)")
 	seed := flag.Int64("seed", 1, "generator seed")
@@ -104,6 +108,14 @@ func main() {
 	if *experiment == "concurrent-maintenance" {
 		if err := concurrentMaintenance(*seed, *groups, *maintWorkers); err != nil {
 			fmt.Fprintf(os.Stderr, "ojbench: concurrent-maintenance: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// The multi-view experiment measures the shared ΔV^D plan layer against
+	// its per-view twin; it only runs by name.
+	if *experiment == "multi-view" {
+		if err := multiView(*seed, *mvViews, *mvRounds); err != nil {
+			fmt.Fprintf(os.Stderr, "ojbench: multi-view: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -391,6 +403,42 @@ func concurrentMaintenance(seed int64, groups, maintWorkers int) error {
 	for _, r := range results {
 		fmt.Printf("%-12s %8d %8d %14.1f %11.2fx %12d %10d\n",
 			r.Mode, r.Workers, r.Groups, r.FlushesPerSec, r.Speedup, r.Components, r.FinalViewRows)
+	}
+	fmt.Println()
+	return nil
+}
+
+// multiView measures shared vs per-view maintenance for N views over
+// three base tables, per shape (shared-prefix and disjoint). Every point's
+// final view states are verified bit-identical across modes inside
+// bench.RunMultiView, along with the producer/consumer row identity.
+func multiView(seed int64, viewCounts string, rounds int) error {
+	var counts []int
+	for _, s := range strings.Split(viewCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -mvviews entry %q", s)
+		}
+		counts = append(counts, n)
+	}
+	const (
+		perRound = 60
+		baseRows = 300
+	)
+	fmt.Printf("== Multi-view: shared ΔV^D plans vs per-view maintenance, %d flushes of %d inserts per table ==\n",
+		rounds, perRound)
+	results, err := bench.RunMultiView(seed, counts, rounds, perRound, baseRows, benchReps)
+	if err != nil {
+		return err
+	}
+	emitBench("multi-view", results)
+	fmt.Printf("%-14s %6s %-9s %14s %14s %9s %10s %12s\n",
+		"shape", "views", "mode", "flush-total", "per-view", "speedup", "subtrees", "rows-saved")
+	for _, r := range results {
+		fmt.Printf("%-14s %6d %-9s %14s %14s %8.2fx %10d %12d\n",
+			r.Shape, r.Views, r.Mode,
+			r.FlushElapsed.Round(10*time.Microsecond), r.PerViewFlush.Round(time.Microsecond),
+			r.Speedup, r.SharedSubtrees, r.RowsSaved)
 	}
 	fmt.Println()
 	return nil

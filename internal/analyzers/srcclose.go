@@ -21,10 +21,13 @@ import (
 // anything mentioning v) transfers ownership to the caller; a closure that
 // closes v takes ownership too. Branches are walked with cloned open sets
 // and merged with may-be-open (union) semantics, so a close on only one arm
-// still flags the other. The one idiom-specific rule: after
+// still flags the other. Two idiom-specific rules: after
 // `v, err := NewPipeline(...)`, the `err != nil` arm treats v as never
 // opened (a failed constructor returns nothing to close) until err is
-// reassigned.
+// reassigned; and passing a tracked resource to NewTee transfers its
+// ownership to the tee — the fan-out idiom has the tee own the producer
+// source and the producer span (both released when the last consumer
+// handle closes), while each handle is owned by its consumer.
 var SrcClose = &Analyzer{
 	Name: "srcclose",
 	Doc:  "flags spans and sources not closed on every return path",
@@ -104,6 +107,7 @@ func (sc *srcCloseScope) walkStmt(s ast.Stmt, open scOpen) bool {
 
 	case *ast.AssignStmt:
 		sc.handleCloses(s, open)
+		sc.handleTransfers(s, open)
 		sc.handleFuncLits(s, open)
 		// Reassigning a paired error variable severs the failed-open link.
 		for _, lhs := range s.Lhs {
@@ -122,6 +126,7 @@ func (sc *srcCloseScope) walkStmt(s ast.Stmt, open scOpen) bool {
 
 	case *ast.ExprStmt:
 		sc.handleCloses(s, open)
+		sc.handleTransfers(s, open)
 		sc.handleFuncLits(s, open)
 		if call, ok := s.X.(*ast.CallExpr); ok {
 			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
@@ -436,6 +441,32 @@ func (sc *srcCloseScope) closeTargets(n ast.Node) []*types.Var {
 		return true
 	})
 	return out
+}
+
+// handleTransfers discharges resources handed to a fan-out constructor:
+// NewTee(src, n, span) takes ownership of the producer source and the
+// producer span — the tee closes the source and ends the span when its
+// last consumer handle closes — so a tracked variable passed to NewTee is
+// no longer this function's to release. Resources not mentioned in the
+// call's arguments stay tracked.
+func (sc *srcCloseScope) handleTransfers(n ast.Node, open scOpen) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if calleeName(call) != "NewTee" {
+			return true
+		}
+		for _, arg := range call.Args {
+			for v := range open {
+				if sc.mentions(arg, v) {
+					delete(open, v)
+				}
+			}
+		}
+		return true
+	})
 }
 
 // handleCloses removes every resource closed inside the statement.

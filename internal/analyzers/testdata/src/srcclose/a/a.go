@@ -40,6 +40,13 @@ func NewPipeline(fail bool) (Source, error) {
 	return &pipe{}, nil
 }
 
+// NewTee mirrors exec.NewTee: the tee takes ownership of src and span
+// (both released when the last returned handle closes); the handles are
+// owned by their consumers.
+func NewTee(src Source, n int, span *Span) (*pipe, []Source) {
+	return &pipe{}, make([]Source, n)
+}
+
 func work() error { return nil }
 
 // leakOnError closes the span on the happy path but forgets it on the
@@ -114,6 +121,37 @@ func closureClose() error {
 		src.Close()
 	}()
 	return work()
+}
+
+// teeHandOff is the fan-out idiom: the producer source and span pass to
+// NewTee, which owns both from then on — no release needed here even
+// though neither End nor Close appears on any path.
+func teeHandOff(parent *Span) ([]Source, error) {
+	sp := parent.Child("subtree")
+	src, err := NewPipeline(false)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	_, handles := NewTee(src, 2, sp)
+	return handles, nil
+}
+
+// teeHandOffPartial transfers only the source it actually passes to the
+// tee: the second pipeline is untouched by the call and still leaks.
+func teeHandOffPartial() error {
+	shared, err := NewPipeline(false)
+	if err != nil {
+		return err
+	}
+	other, err2 := NewPipeline(false)
+	if err2 != nil {
+		return err2 // want `shared opened at line \d+ is not closed on this return path`
+	}
+	_ = other
+	_, handles := NewTee(shared, 2, nil)
+	_ = handles
+	return work() // want `other opened at line \d+ is not closed on this return path`
 }
 
 // registry holds spans that outlive the opening function by design; the

@@ -48,6 +48,13 @@ type Context struct {
 	DeltaIsInsert bool
 	// Rels binds RelRef leaves to materialized relations.
 	Rels map[string]Relation
+	// Bound substitutes whole subtrees: when compilation reaches an
+	// expression node present in this map (pointer identity), the bound
+	// Source — in practice a tee handle over a shared-subtree producer —
+	// replaces the node's own pipeline. The caller guarantees the source
+	// streams exactly the rows the subtree would produce, in the same
+	// order and schema. See view.PlanShared.
+	Bound map[algebra.Expr]Source
 	// Parallelism caps the worker goroutines evaluation may use for
 	// partitioned hash joins and concurrent subtree evaluation. 0 (the
 	// zero value) means runtime.GOMAXPROCS(0); 1 forces serial execution.

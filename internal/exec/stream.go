@@ -77,6 +77,10 @@ func (o *opBase) finish() {
 
 // build compiles one node. parent is the span operator spans nest under.
 func build(ctx *Context, e algebra.Expr, parent *obs.Span) (Source, error) {
+	if src, ok := ctx.Bound[e]; ok {
+		sp := opSpan(parent, "exec.shared.consume")
+		return &consumeSource{opBase: opBase{schema: src.Schema(), span: sp}, in: src}, nil
+	}
 	switch n := e.(type) {
 	case *algebra.TableRef:
 		t := ctx.Catalog.Table(n.Name)

@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ojv/internal/obs"
+	"ojv/internal/rel"
+)
+
+// fakeSource emits the given batches and records its lifecycle, so the
+// tests can assert the tee's exactly-once open/close contract.
+type fakeSource struct {
+	batches [][]rel.Row
+	pos     int
+	opens   int
+	closes  int
+	openErr error
+	// errAfter, when ≥ 0, fails the Next call made after that many
+	// successful batches.
+	errAfter int
+}
+
+func newFakeSource(batches [][]rel.Row) *fakeSource {
+	return &fakeSource{batches: batches, errAfter: -1}
+}
+
+func (f *fakeSource) Schema() rel.Schema {
+	return rel.Schema{{Table: "t", Name: "a", Kind: rel.KindInt}}
+}
+
+func (f *fakeSource) Open() error {
+	f.opens++
+	return f.openErr
+}
+
+func (f *fakeSource) Next(b *Batch) (bool, error) {
+	if f.errAfter >= 0 && f.pos >= f.errAfter {
+		return false, errors.New("fake: next failed")
+	}
+	if f.pos >= len(f.batches) {
+		return false, nil
+	}
+	b.Reset()
+	b.Rows = append(b.Rows, f.batches[f.pos]...)
+	f.pos++
+	return true, nil
+}
+
+func (f *fakeSource) Close() error {
+	f.closes++
+	return nil
+}
+
+func rowsOf(vals ...int64) []rel.Row {
+	out := make([]rel.Row, len(vals))
+	for i, v := range vals {
+		out[i] = rel.Row{rel.Int(v)}
+	}
+	return out
+}
+
+func drainHandle(t *testing.T, h Source) []rel.Row {
+	t.Helper()
+	if err := h.Open(); err != nil {
+		t.Fatalf("handle open: %v", err)
+	}
+	var out []rel.Row
+	var b Batch
+	for {
+		ok, err := h.Next(&b)
+		if err != nil {
+			t.Fatalf("handle next: %v", err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, b.Rows...)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("handle close: %v", err)
+	}
+	return out
+}
+
+// TestTeeFanOut: every handle replays the producer's rows in order, the
+// producer opens and closes exactly once, and the row accounting holds
+// (consumed = produced × fan-out for fully drained handles).
+func TestTeeFanOut(t *testing.T) {
+	src := newFakeSource([][]rel.Row{rowsOf(1, 2), rowsOf(3), rowsOf(4, 5, 6)})
+	tee, hs := NewTee(src, 3, nil)
+	want := fmt.Sprint(rowsOf(1, 2, 3, 4, 5, 6))
+	for i, h := range hs {
+		got := drainHandle(t, h)
+		if fmt.Sprint(got) != want {
+			t.Fatalf("handle %d: got %v want %v", i, got, want)
+		}
+	}
+	if src.opens != 1 || src.closes != 1 {
+		t.Fatalf("producer opens=%d closes=%d, want 1/1", src.opens, src.closes)
+	}
+	if tee.ProducedRows() != 6 {
+		t.Fatalf("produced=%d want 6", tee.ProducedRows())
+	}
+	if tee.ConsumedRows() != 18 {
+		t.Fatalf("consumed=%d want 18 (6 rows × 3 handles)", tee.ConsumedRows())
+	}
+}
+
+// TestTeeInterleaved: handles pulling at different paces see the same
+// rows; the producer advances only as far as the furthest consumer.
+func TestTeeInterleaved(t *testing.T) {
+	src := newFakeSource([][]rel.Row{rowsOf(1), rowsOf(2), rowsOf(3)})
+	_, hs := NewTee(src, 2, nil)
+	a, b := hs[0], hs[1]
+	if err := a.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb Batch
+	// a pulls one batch; b then overtakes to the end; a catches up.
+	if ok, err := a.Next(&ba); !ok || err != nil {
+		t.Fatalf("a first pull: ok=%v err=%v", ok, err)
+	}
+	var bRows []rel.Row
+	for {
+		ok, err := b.Next(&bb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		bRows = append(bRows, bb.Rows...)
+	}
+	aRows := append([]rel.Row(nil), ba.Rows...)
+	for {
+		ok, err := a.Next(&ba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		aRows = append(aRows, ba.Rows...)
+	}
+	if fmt.Sprint(aRows) != fmt.Sprint(bRows) {
+		t.Fatalf("handles diverged: a=%v b=%v", aRows, bRows)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if src.closes != 0 {
+		t.Fatalf("producer closed before last handle: closes=%d", src.closes)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if src.closes != 1 {
+		t.Fatalf("producer closes=%d want 1", src.closes)
+	}
+}
+
+// TestTeeCloseWithoutPull: handles closed without ever pulling still
+// release the producer — the lazy producer never opens, but its Close is
+// honored (Close on every path, per the Source contract).
+func TestTeeCloseWithoutPull(t *testing.T) {
+	src := newFakeSource([][]rel.Row{rowsOf(1)})
+	_, hs := NewTee(src, 2, nil)
+	for _, h := range hs {
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Idempotent: a second close must not double-release.
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if src.opens != 0 {
+		t.Fatalf("producer opened without a pull: opens=%d", src.opens)
+	}
+	if src.closes != 1 {
+		t.Fatalf("producer closes=%d want 1", src.closes)
+	}
+}
+
+// TestTeeErrors: producer failures surface through every handle, both at
+// open and mid-stream, and stay sticky.
+func TestTeeErrors(t *testing.T) {
+	src := newFakeSource(nil)
+	src.openErr = errors.New("fake: open failed")
+	_, hs := NewTee(src, 2, nil)
+	var b Batch
+	for i, h := range hs {
+		if err := h.Open(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Next(&b); err == nil {
+			t.Fatalf("handle %d: open error not surfaced", i)
+		}
+	}
+
+	src2 := newFakeSource([][]rel.Row{rowsOf(1), rowsOf(2)})
+	src2.errAfter = 1
+	_, hs2 := NewTee(src2, 2, nil)
+	for i, h := range hs2 {
+		if ok, err := h.Next(&b); !ok || err != nil {
+			t.Fatalf("handle %d: first batch ok=%v err=%v", i, ok, err)
+		}
+		if _, err := h.Next(&b); err == nil {
+			t.Fatalf("handle %d: next error not surfaced", i)
+		}
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if src2.closes != 1 {
+		t.Fatalf("producer closes=%d want 1", src2.closes)
+	}
+}
+
+// TestTeeSpanEndsAtLastClose: the producer span ends exactly when the last
+// handle closes, carrying the producer's row and batch totals.
+func TestTeeSpanEndsAtLastClose(t *testing.T) {
+	tr := &obs.Tracer{}
+	sp := tr.StartSpan("view.shared.subtree")
+	src := newFakeSource([][]rel.Row{rowsOf(1, 2), rowsOf(3)})
+	_, hs := NewTee(src, 2, sp)
+	drainHandle(t, hs[0])
+	if sp.Ended() {
+		t.Fatal("span ended before last handle closed")
+	}
+	drainHandle(t, hs[1])
+	if !sp.Ended() {
+		t.Fatal("span not ended after last handle closed")
+	}
+	if rows, _ := sp.AttrInt("rows"); rows != 3 {
+		t.Fatalf("span rows=%d want 3", rows)
+	}
+	if batches, _ := sp.AttrInt("batches"); batches != 2 {
+		t.Fatalf("span batches=%d want 2", batches)
+	}
+}

@@ -53,6 +53,12 @@ type tablePlan struct {
 	// affected.
 	primary  algebra.Expr
 	indirect []*indirectPlan
+	// shared lists the shareable subtrees of primary in preorder, and
+	// sharedKeys indexes them by node for the multi-view cut walk (see
+	// shared.go). Both are computed once at plan build, so per-flush DAG
+	// construction touches only cached keys.
+	shared     []sharedNode
+	sharedKeys map[algebra.Expr]string
 }
 
 // Graph returns the (possibly FK-reduced) maintenance graph the plan uses.
@@ -194,6 +200,9 @@ func (m *Maintainer) buildPlan(table string, fkOK bool) (*tablePlan, error) {
 			return nil, err
 		}
 		p.primary = expr // may be nil: FK-simplified to empty
+	}
+	if p.primary != nil {
+		p.shared, p.sharedKeys = collectShareable(p.primary)
 	}
 	bits := m.tableBits()
 	for _, ti := range graph.IndirectTerms() {
@@ -507,26 +516,46 @@ func (m *Maintainer) RollbackStaged(cs *Changeset) error {
 // committing; the caller owns Commit/Rollback. The Database uses this to
 // make one base-table update atomic across every registered view.
 func (m *Maintainer) ApplyInsert(cs *Changeset, table string, delta []rel.Row) (*MaintStats, error) {
+	return m.ApplyInsertShared(cs, table, delta, nil)
+}
+
+// ApplyInsertShared is ApplyInsert with shared-subtree bindings: bound maps
+// cut nodes of this view's plan to tee handles over a multi-view producer
+// (see PlanShared). nil bound is the plain per-view path.
+func (m *Maintainer) ApplyInsertShared(cs *Changeset, table string, delta []rel.Row, bound map[algebra.Expr]exec.Source) (*MaintStats, error) {
 	root := m.startMaintSpan("insert", table)
 	defer root.End()
-	return m.apply(cs, root, table, delta, true, true)
+	return m.apply(cs, root, table, delta, true, true, bound)
 }
 
 // ApplyDelete stages the maintenance for a delete batch into cs without
 // committing.
 func (m *Maintainer) ApplyDelete(cs *Changeset, table string, delta []rel.Row) (*MaintStats, error) {
+	return m.ApplyDeleteShared(cs, table, delta, nil)
+}
+
+// ApplyDeleteShared is ApplyDelete with shared-subtree bindings (see
+// ApplyInsertShared).
+func (m *Maintainer) ApplyDeleteShared(cs *Changeset, table string, delta []rel.Row, bound map[algebra.Expr]exec.Source) (*MaintStats, error) {
 	root := m.startMaintSpan("delete", table)
 	defer root.End()
-	return m.apply(cs, root, table, delta, false, true)
+	return m.apply(cs, root, table, delta, false, true, bound)
 }
 
 // ApplyModify stages both passes of a decomposed modify into cs without
 // committing, merging the two passes' statistics.
 func (m *Maintainer) ApplyModify(cs *Changeset, table string, deleted, inserted []rel.Row) (*MaintStats, error) {
+	return m.ApplyModifyShared(cs, table, deleted, inserted, nil, nil)
+}
+
+// ApplyModifyShared is ApplyModify with shared-subtree bindings, one map
+// per pass: a modify decomposes into a delete pass then an insert pass, and
+// each pass evaluates its own plan, so each needs its own handles.
+func (m *Maintainer) ApplyModifyShared(cs *Changeset, table string, deleted, inserted []rel.Row, boundDel, boundIns map[algebra.Expr]exec.Source) (*MaintStats, error) {
 	root := m.startMaintSpan("modify", table)
 	defer root.End()
 	del := root.Child("pass.delete")
-	s1, err := m.apply(cs, del, table, deleted, false, false)
+	s1, err := m.apply(cs, del, table, deleted, false, false, boundDel)
 	del.End()
 	if err != nil {
 		return nil, err
@@ -535,7 +564,7 @@ func (m *Maintainer) ApplyModify(cs *Changeset, table string, deleted, inserted 
 		return nil, err
 	}
 	ins := root.Child("pass.insert")
-	s2, err := m.apply(cs, ins, table, inserted, true, false)
+	s2, err := m.apply(cs, ins, table, inserted, true, false, boundIns)
 	ins.End()
 	if err != nil {
 		return nil, err
@@ -613,7 +642,7 @@ func mergeStats(s1, s2 *MaintStats) *MaintStats {
 	return &out
 }
 
-func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []rel.Row, isInsert, fkOK bool) (*MaintStats, error) {
+func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []rel.Row, isInsert, fkOK bool, bound map[algebra.Expr]exec.Source) (*MaintStats, error) {
 	stats := &MaintStats{Table: table, Insert: isInsert, SecondaryByTerm: make(map[string]int)}
 	// Publish the run's row accounting to the registry on every exit path
 	// (including aborted runs: the invariant tests snapshot per attempt).
@@ -657,6 +686,7 @@ func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []
 		BatchSize:     m.opts.BatchSize,
 		Metrics:       m.opts.Metrics,
 		Span:          evalSpan,
+		Bound:         bound,
 	}
 	// The full-width primary delta is needed by aggregation, by the
 	// deletion-case view cleanup, and by from-base candidate computation.
@@ -669,23 +699,24 @@ func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []
 	var primary exec.Relation
 	var projected []rel.Row
 	primaryRows := 0
+	var primaryBatches int64
 	if plan.primary != nil {
 		if needPrimary {
-			primary, err = exec.Eval(ctx, plan.primary)
+			primary, primaryBatches, err = evalCounted(ctx, plan.primary)
 			if err != nil {
 				evalSpan.End()
 				return nil, err
 			}
 			primaryRows = len(primary.Rows)
 		} else {
-			projected, primaryRows, err = m.streamProjected(ctx, plan.primary)
+			projected, primaryRows, primaryBatches, err = m.streamProjected(ctx, plan.primary)
 			if err != nil {
 				evalSpan.End()
 				return nil, err
 			}
 		}
 	}
-	evalSpan.SetInt("rows", int64(primaryRows))
+	evalSpan.SetInt("rows", int64(primaryRows)).SetInt("batches", primaryBatches)
 	evalSpan.End()
 	stats.PrimaryRows = primaryRows
 
@@ -795,41 +826,79 @@ func (m *Maintainer) apply(cs *Changeset, span *obs.Span, table string, delta []
 // streamProjected evaluates the primary delta as a batch pipeline,
 // projecting every batch straight to the view's output schema: only the
 // projected rows accumulate, the full-width delta relation never exists.
-func (m *Maintainer) streamProjected(ctx *exec.Context, e algebra.Expr) ([]rel.Row, int, error) {
+// Returns the projected rows, the wide row count and the batch count.
+func (m *Maintainer) streamProjected(ctx *exec.Context, e algebra.Expr) ([]rel.Row, int, int64, error) {
 	src, err := exec.NewPipeline(ctx, e)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if err := src.Open(); err != nil {
 		src.Close()
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	schema := src.Schema()
 	var projected []rel.Row
 	total := 0
+	var batches int64
 	var b exec.Batch
 	for {
 		ok, err := src.Next(&b)
 		if err != nil {
 			src.Close()
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		if !ok {
 			break
 		}
 		total += b.Len()
+		batches++
 		//ojvlint:ignore rowalias projectToOutput copies every row it keeps before this frame is refilled by the next Next
 		rows, err := projectToOutput(exec.Relation{Schema: schema, Rows: b.Rows}, m.def, m.mv.schema)
 		if err != nil {
 			src.Close()
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		projected = append(projected, rows...)
 	}
 	if err := src.Close(); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return projected, total, nil
+	return projected, total, batches, nil
+}
+
+// evalCounted is exec.Eval with a batch count: it drains the pipeline into
+// a Relation while counting the batches served, so the primary.eval span
+// can report batch granularity alongside rows (ojexplain -stats).
+func evalCounted(ctx *exec.Context, e algebra.Expr) (exec.Relation, int64, error) {
+	src, err := exec.NewPipeline(ctx, e)
+	if err != nil {
+		return exec.Relation{}, 0, err
+	}
+	if err := src.Open(); err != nil {
+		src.Close()
+		return exec.Relation{}, 0, err
+	}
+	out := exec.Relation{Schema: src.Schema()}
+	var batches int64
+	var b exec.Batch
+	for {
+		ok, err := src.Next(&b)
+		if err != nil {
+			src.Close()
+			return exec.Relation{}, 0, err
+		}
+		if !ok {
+			break
+		}
+		batches++
+		// Rows are shared immutable references; the batch container is
+		// scratch, so copy the references out before the next Next.
+		out.Rows = append(out.Rows, b.Rows...)
+	}
+	if err := src.Close(); err != nil {
+		return exec.Relation{}, 0, err
+	}
+	return out, batches, nil
 }
 
 // workers resolves Options.Parallelism the same way exec.Context does:

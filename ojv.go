@@ -391,6 +391,33 @@ func (db *Database) register(name string, def *view.Definition, opts []Options) 
 	return v, nil
 }
 
+// DropView unregisters a view and releases its materialized state. It
+// takes db.mu, so it serializes against statements and flushes the same
+// way registration does: a drop never lands mid-flush, and the next flush
+// simply plans without the view. Multi-view shared plans are rebuilt per
+// flush step from the live registry, so a dropped view's subtrees vanish
+// from the DAG and a new view reusing the name (with a different
+// definition) contributes its own structural keys — stale aliasing is
+// pinned by TestSharedPlanRebuildOnRegistryChange. Dropping an unknown
+// view is a no-op returning false.
+func (db *Database) DropView(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.viewMu.Lock()
+	defer db.viewMu.Unlock()
+	if _, ok := db.views[name]; !ok {
+		return false
+	}
+	delete(db.views, name)
+	for i, n := range db.order {
+		if n == name {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // View returns a registered view by name, or nil. It never blocks on an
 // in-flight flush.
 func (db *Database) View(name string) *View {
